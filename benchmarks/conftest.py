@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's artifacts (Table I rows,
+Figures 1–2, the scaling claims).  pytest-benchmark times the wall-clock
+cost of the simulation; the *paper-relevant* measurements — operation
+latencies in units of ``D``, growth exponents, message counts — are
+attached to ``benchmark.extra_info`` so they appear in the benchmark
+report, and are asserted against the expected qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,21 @@
+"""Benchmark: ABL — the T1/T2/phase-0 ablation probes."""
+
+import pytest
+
+from repro.harness.ablations import run_ablation
+
+
+@pytest.mark.parametrize("name", ["no-tag-recheck", "no-borrowing", "no-phase0"])
+def test_ablation(benchmark, name):
+    report = benchmark.pedantic(
+        lambda: run_ablation(name, seeds=6), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ablation"] = name
+    benchmark.extra_info["safety_violations"] = report.safety_violations
+    benchmark.extra_info["deadlocks"] = report.liveness_deadlocks
+    benchmark.extra_info["latency_D"] = {
+        "baseline": round(report.baseline_latency_D, 2),
+        "ablated": round(report.ablated_latency_D, 2),
+    }
+    # the intact algorithm's latency is finite and modest under the probe
+    assert report.baseline_latency_D < 20.0

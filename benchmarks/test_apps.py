@@ -1,0 +1,50 @@
+"""Benchmark: APP-AT — the asset-transfer application over different
+snapshot substrates (the paper's "practical applications" future-work
+probe, Sec. V)."""
+
+import pytest
+
+from repro.apps import AssetTransfer, InsufficientFunds
+from repro.baselines import DelporteAso, ScdAso
+from repro.core import EqAso
+from repro.runtime.cluster import Cluster
+from repro.sim.rng import SeededRng
+
+SUBSTRATES = {
+    "EQ-ASO": EqAso,
+    "Delporte [19]": DelporteAso,
+    "SCD-broadcast [29]": ScdAso,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SUBSTRATES))
+def test_asset_transfer_workload(benchmark, name):
+    algo = SUBSTRATES[name]
+
+    def run():
+        rng = SeededRng(17)
+        n = 5
+        cluster = Cluster(algo, n=n, f=2)
+        initial = [100] * n
+        wallets = [AssetTransfer(cluster, i, initial) for i in range(n)]
+        completed = rejected = 0
+        for _ in range(20):
+            src = rng.randint(0, n - 1)
+            dst = (src + rng.randint(1, n - 1)) % n
+            try:
+                wallets[src].transfer(dst, rng.randint(1, 80))
+                completed += 1
+            except InsufficientFunds:
+                rejected += 1
+        balances = wallets[0].balances()
+        return completed, rejected, balances, cluster.sim.now / cluster.D
+
+    completed, rejected, balances, sim_time_D = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    benchmark.extra_info["substrate"] = name
+    benchmark.extra_info["transfers_completed"] = completed
+    benchmark.extra_info["transfers_rejected"] = rejected
+    benchmark.extra_info["sim_time_D"] = round(sim_time_D, 1)
+    assert sum(balances) == 500  # supply conservation
+    assert all(b >= 0 for b in balances)  # no overdraft

@@ -1,0 +1,28 @@
+"""Benchmark: BYZ-K — honest-op latency vs number of Byzantine nodes."""
+
+import pytest
+
+from repro.harness.byzantine import BEHAVIOURS, byz_safety_matrix, byz_scaling
+
+
+def test_byz_scaling_tag_flooder(benchmark):
+    points = benchmark.pedantic(
+        lambda: byz_scaling(byz_counts=(0, 1, 2, 3), behaviour="tag-flooder"),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["update_D"] = [p.update_mean_D for p in points]
+    benchmark.extra_info["scan_D"] = [p.scan_mean_D for p in points]
+    assert all(p.linearizable for p in points)
+    # degradation grows (weakly) with the number of active attackers
+    assert points[-1].update_mean_D >= points[0].update_mean_D
+
+
+@pytest.mark.parametrize("behaviour", sorted(BEHAVIOURS))
+def test_byz_safety_per_behaviour(benchmark, behaviour):
+    def run():
+        return byz_safety_matrix(num_byzantine=1, n=4)[behaviour]
+
+    safe = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["behaviour"] = behaviour
+    assert safe

@@ -1,0 +1,21 @@
+"""Benchmarks: Figures 1 and 2 regeneration."""
+
+
+def test_figure1(benchmark):
+    from repro.harness.figures import run_figure1
+
+    result = benchmark(run_figure1)
+    benchmark.extra_info["linearization"] = " < ".join(result.linearization)
+    benchmark.extra_info["checks"] = len(result.checks)
+    assert result.swap_is_valid_sequentialization
+    assert not result.swap_is_valid_linearization
+
+
+def test_figure2(benchmark):
+    from repro.harness.figures import run_figure2
+
+    result = benchmark(run_figure2)
+    benchmark.extra_info["op6_snapshot"] = sorted(
+        v for v in result.op6_snapshot if v
+    )
+    assert result.op6_had_to_wait

@@ -1,0 +1,18 @@
+"""Benchmark: LA-ES — early-stopping lattice agreement vs classifier LA."""
+
+
+def test_la_early_stopping_vs_classifier(benchmark):
+    from repro.harness.scaling import la_comparison
+
+    curves = benchmark.pedantic(
+        lambda: la_comparison(ks=(0, 1, 3, 6, 10)), rounds=1, iterations=1
+    )
+    es = next(c for c in curves if "early-stopping" in c.label)
+    cl = next(c for c in curves if "classifier" in c.label)
+    benchmark.extra_info["early_stopping_D"] = es.ys
+    benchmark.extra_info["classifier_D"] = cl.ys
+    # early-stopping: k=0 is (near-)constant and cheaper than log n rounds
+    assert es.ys[0] < cl.ys[0]
+    # early-stopping degrades with actual failures; classifier stays flat
+    assert es.ys[-1] > es.ys[1]
+    assert max(cl.ys[1:]) - min(cl.ys[1:]) < 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: per-operation message complexity vs n."""
+
+
+def test_message_costs(benchmark):
+    from repro.harness.messages import message_costs
+
+    rows = benchmark.pedantic(
+        lambda: message_costs(ns=(4, 10, 16)), rounds=1, iterations=1
+    )
+    table = {}
+    for row in rows:
+        table.setdefault(row.algorithm, {})[row.n] = (
+            row.update_messages,
+            row.scan_messages,
+        )
+    benchmark.extra_info["messages"] = table
+    # the trade the paper's design makes: time optimality costs Θ(n²)
+    # update messages (proactive forwarding); SSO scans are free
+    assert table["SSO-Fast-Scan"][16][1] == 0
+    assert table["EQ-ASO"][16][0] > table["Delporte [19]"][16][0]

@@ -1,0 +1,78 @@
+"""Microbenchmarks: the substrate's raw performance.
+
+These are honest wall-clock benchmarks (pytest-benchmark's bread and
+butter): event-queue throughput, EQ-predicate evaluation, checker cost.
+They guard against performance regressions in the simulator that would
+make the table/figure benchmarks impractically slow.
+"""
+
+from repro.core.tags import Timestamp, ValueTs
+from repro.core.views import ViewVector, eq_predicate
+from repro.sim.kernel import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            sim.schedule(i * 0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_eq_predicate_evaluation(benchmark):
+    n, f = 15, 7
+    V = ViewVector(n)
+    for tag in range(1, 30):
+        vt = ValueTs(f"v{tag}", Timestamp(tag, tag % n), 1 + tag // n)
+        for row in range(n):
+            V.add(row, vt)
+
+    def run():
+        return eq_predicate(V, 0, f, r=25)
+
+    hit = benchmark(run)
+    assert hit is not None
+
+
+def test_eq_aso_simulation_wall_clock(benchmark):
+    """End-to-end simulator cost of a busy EQ-ASO run (the unit of work
+    every experiment repeats)."""
+    from repro.runtime.cluster import Cluster
+    from repro.core import EqAso
+
+    def run():
+        cluster = Cluster(EqAso, n=7, f=3)
+        handles = []
+        for node in range(7):
+            handles += cluster.chain_ops(
+                node,
+                [("update", (f"v{node}",)), ("scan", ()), ("update", (f"w{node}",))],
+                start=node * 0.2,
+            )
+        cluster.run_until_complete(handles)
+        return cluster.network.messages_sent
+
+    messages = benchmark(run)
+    assert messages > 100
+
+
+def test_linearizability_checker_cost(benchmark):
+    from repro.spec import order_check
+    from tests.conftest import run_random_execution
+    from repro.core import EqAso
+
+    cluster, _ = run_random_execution(EqAso, seed=5, n=5, f=2, ops_per_node=4)
+
+    def run():
+        return order_check(cluster.history, real_time=True).ok
+
+    assert benchmark(run)

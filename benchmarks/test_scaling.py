@@ -1,0 +1,71 @@
+"""Benchmarks: the scaling claims of Sec. III-F.
+
+- SCALE-K: scan latency vs k — the √k curve (growth exponent recorded);
+- AMORT: amortized O(D) with Ω(√k) operations;
+- FF: failure-free constant time for every algorithm;
+- INTERFERENCE: the pull-based O(n·D) scan vs EQ-ASO's flat scan.
+"""
+
+import pytest
+
+from repro.core import EqAso
+
+
+def test_scale_k_sqrt_curve(benchmark):
+    from repro.harness.scaling import scale_k
+
+    def run():
+        return scale_k(ks=(1, 3, 6, 10, 15, 21), algorithms={"EQ-ASO": EqAso})
+
+    [curve] = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["points"] = list(zip(curve.xs, curve.ys))
+    benchmark.extra_info["growth_exponent"] = round(curve.exponent, 3)
+    # the measured exponent must sit between constant and linear, near 0.5
+    assert 0.2 <= curve.exponent <= 0.75
+
+
+def test_amortized_converges_to_constant(benchmark):
+    from repro.harness.scaling import amortized_curve
+
+    curve = benchmark.pedantic(
+        lambda: amortized_curve(k=10, op_counts=(1, 2, 4, 8, 16, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["points"] = list(zip(curve.xs, curve.ys))
+    assert curve.ys[-1] < curve.ys[0] / 3  # averaged out
+    assert curve.ys[-1] < 1.0  # O(D)
+
+
+def test_failure_free_constants(benchmark):
+    from repro.harness.scaling import failure_free
+
+    out = benchmark.pedantic(
+        lambda: failure_free(ns=(4, 10, 25)), rounds=1, iterations=1
+    )
+    for kind, curves in out.items():
+        for curve in curves:
+            benchmark.extra_info[f"{kind}:{curve.label}"] = curve.ys
+            if "LA-based" not in curve.label:
+                assert max(curve.ys) == pytest.approx(min(curve.ys)), curve.label
+
+
+def test_interference_scan_shape(benchmark):
+    from repro.baselines import DelporteAso
+    from repro.harness.scaling import interference_scan
+
+    curves = benchmark.pedantic(
+        lambda: interference_scan(
+            ns=(5, 9, 13),
+            algorithms={"Delporte [19]": DelporteAso, "EQ-ASO": EqAso},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_label = {c.label: c for c in curves}
+    delporte = by_label["Delporte [19] victim scan"]
+    eq = by_label["EQ-ASO victim scan"]
+    benchmark.extra_info["delporte_scan"] = delporte.ys
+    benchmark.extra_info["eq_scan"] = eq.ys
+    assert delporte.ys[-1] > delporte.ys[0]
+    assert eq.ys[-1] <= eq.ys[0] + 2.0

@@ -1,0 +1,85 @@
+"""Benchmark: Table I — worst-case and amortized UPDATE/SCAN time.
+
+One benchmark per (algorithm, operation, regime) cell.  The recorded
+``extra_info['latency_D']`` values are the reproduction of the table; the
+assertions pin the qualitative pattern (who wins, what is free, what
+grows).
+"""
+
+import pytest
+
+from repro.harness.adversary import staircase_cluster, staircase_victim_latency
+from repro.harness.metrics import summarize
+from repro.harness.table1 import ALGORITHMS
+
+K = 10  # crash budget for the worst-case staircase
+IDS = list(ALGORITHMS)
+
+
+@pytest.mark.parametrize("name", IDS)
+@pytest.mark.parametrize("kind", ["update", "scan"])
+def test_worst_case_under_chains(benchmark, name, kind):
+    factory = ALGORITHMS[name]
+
+    def run():
+        return staircase_victim_latency(factory, kind, K)
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["op"] = kind
+    benchmark.extra_info["latency_D"] = round(latency, 2)
+    if name == "SSO-Fast-Scan [this paper]" and kind == "scan":
+        assert latency == 0.0  # the table's O(1) entry
+    if name == "EQ-ASO [this paper]":
+        # √(2k) chains: latency tracks the staircase, not k itself
+        assert latency < K  # sub-linear in k
+
+
+@pytest.mark.parametrize("name", IDS)
+@pytest.mark.parametrize("kind", ["update", "scan"])
+def test_amortized_under_chains(benchmark, name, kind):
+    factory = ALGORITHMS[name]
+    ops = 20
+
+    def run():
+        cluster, scenario = staircase_cluster(factory, K)
+        if kind == "update":
+            chain = [("update", (f"v{i}",)) for i in range(ops)]
+        else:
+            chain = [("scan", ())] * ops
+        handles = cluster.chain_ops(scenario.victim, chain, start=2.0)
+        cluster.run_until_complete(handles)
+        return summarize(handles, cluster.D).mean
+
+    mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["algorithm"] = name
+    benchmark.extra_info["op"] = kind
+    benchmark.extra_info["amortized_D"] = round(mean, 2)
+    # amortized time is a small constant: the crashed chain nodes can
+    # never delay another operation (Sec. III-F, second observation).
+    # (For algorithms the staircase barely delays, background traffic can
+    # make the mean exceed the single-victim-op latency, so the bound is
+    # absolute rather than relative.)
+    assert mean < 5.0
+
+
+def test_headline_comparison(benchmark):
+    """The paper's central claim, as one benchmark: EQ-ASO's worst-case
+    scan beats the pull-based Delporte scan under interference while its
+    update stays within a constant of the cheapest update."""
+    from repro.harness.table1 import run_table1
+
+    rows = benchmark.pedantic(
+        lambda: {r.algorithm: r for r in run_table1(k=6, amortized_ops=10, interference_n=7)},
+        rounds=1,
+        iterations=1,
+    )
+    eq = rows["EQ-ASO [this paper]"]
+    delporte = rows["Delporte et al. [19]"]
+    sso = rows["SSO-Fast-Scan [this paper]"]
+    benchmark.extra_info["table"] = {
+        name: row.as_dict() for name, row in rows.items()
+    }
+    assert eq.scan_worst < delporte.scan_worst
+    assert sso.scan_worst == 0.0
+    assert eq.scan_amortized <= 1.0  # amortized O(D)

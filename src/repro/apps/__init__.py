@@ -1,0 +1,35 @@
+"""Applications built on the snapshot-object public API (paper Sec. I).
+
+The introduction motivates ASO with concrete applications; this package
+implements four of them, each against the *abstract* snapshot interface so
+any algorithm in the repository (EQ-ASO, SSO, Byzantine ASO, or any
+baseline) can serve as the substrate:
+
+- :mod:`repro.apps.state_machine` — update-query state machines [23];
+- :mod:`repro.apps.crdt` — linearizable CRDTs [37] (G-Counter,
+  PN-Counter, OR-Set, LWW-Register);
+- :mod:`repro.apps.asset_transfer` — the asset-transfer object
+  (cryptocurrency) of Guerraoui et al. [26];
+- :mod:`repro.apps.stable_property` — stable-property detection over
+  consistent snapshots (termination detection).
+"""
+
+from repro.apps.client import SnapshotClient
+from repro.apps.state_machine import UpdateQueryStateMachine
+from repro.apps.crdt import GCounter, LWWRegister, ORSet, PNCounter
+from repro.apps.asset_transfer import AssetTransfer, InsufficientFunds, Transfer
+from repro.apps.stable_property import StablePropertyMonitor, TerminationDetector
+
+__all__ = [
+    "SnapshotClient",
+    "UpdateQueryStateMachine",
+    "GCounter",
+    "PNCounter",
+    "ORSet",
+    "LWWRegister",
+    "AssetTransfer",
+    "InsufficientFunds",
+    "Transfer",
+    "StablePropertyMonitor",
+    "TerminationDetector",
+]

@@ -1,0 +1,110 @@
+"""The asset-transfer object of Guerraoui et al. [26] on a snapshot object.
+
+"The consensus number of a cryptocurrency" shows that asset transfer with
+single-owner accounts has consensus number 1 and can run on a snapshot
+object — the paper cites this as the flagship ASO application.
+
+Model: account ``i`` is owned by node ``i``; segment ``i`` holds the
+grow-only log of node ``i``'s *outgoing* transfers.  A transfer:
+
+1. SCANs the object;
+2. computes the owner's balance from that consistent cut
+   (``initial + incoming − outgoing``);
+3. if sufficient, appends the transfer to the own segment via UPDATE.
+
+Safety (no overdraft, no double spend) needs only: (a) single-writer
+segments — nobody else can add outgoing transfers to your account; and
+(b) incoming credit observed in a scan is durable — money can appear
+later but never disappear, so spending against a scanned balance is
+conservative.  Both hold for any linearizable (or even sequentially
+consistent) snapshot object, which is why the construction is
+consensus-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.apps.client import SnapshotClient
+from repro.runtime.cluster import Cluster
+
+
+class InsufficientFunds(RuntimeError):
+    """The scanned balance cannot cover the requested transfer."""
+
+
+@dataclass(frozen=True, slots=True)
+class Transfer:
+    """One outgoing transfer record (lives in the sender's segment)."""
+
+    src: int
+    dst: int
+    amount: int
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("transfer amount must be positive")
+
+
+class AssetTransfer:
+    """One account holder's handle onto the asset-transfer object."""
+
+    def __init__(
+        self, cluster: Cluster, node: int, initial_balances: Sequence[int]
+    ) -> None:
+        if len(initial_balances) != cluster.n:
+            raise ValueError("need one initial balance per node")
+        if any(b < 0 for b in initial_balances):
+            raise ValueError("initial balances must be non-negative")
+        self._client = SnapshotClient(cluster, node)
+        self.node = node
+        self.initial = tuple(initial_balances)
+        self._outgoing: tuple[Transfer, ...] = ()
+
+    # ------------------------------------------------------------------
+    def transfer(self, dst: int, amount: int) -> Transfer:
+        """Transfer ``amount`` to account ``dst``.
+
+        Raises:
+            InsufficientFunds: the scanned balance is too low.
+        """
+        if dst == self.node:
+            raise ValueError("self-transfers are pointless")
+        snapshot = self._client.scan().values
+        balance = self._balance_from(snapshot, self.node)
+        if amount > balance:
+            raise InsufficientFunds(
+                f"account {self.node} has {balance}, cannot send {amount}"
+            )
+        record = Transfer(self.node, dst, amount, seq=len(self._outgoing) + 1)
+        self._outgoing = self._outgoing + (record,)
+        self._client.update(self._outgoing)
+        return record
+
+    def balance(self, account: int | None = None) -> int:
+        """Balance of ``account`` (default: own) from a fresh snapshot."""
+        snapshot = self._client.scan().values
+        return self._balance_from(snapshot, self.node if account is None else account)
+
+    def balances(self) -> tuple[int, ...]:
+        """All balances from one consistent cut (sums to the money supply)."""
+        snapshot = self._client.scan().values
+        return tuple(self._balance_from(snapshot, a) for a in range(len(self.initial)))
+
+    # ------------------------------------------------------------------
+    def _balance_from(self, segments: Iterable, account: int) -> int:
+        balance = self.initial[account]
+        for seg in segments:
+            if not seg:
+                continue
+            for t in seg:
+                if t.src == account:
+                    balance -= t.amount
+                if t.dst == account:
+                    balance += t.amount
+        return balance
+
+
+__all__ = ["AssetTransfer", "Transfer", "InsufficientFunds"]

@@ -1,0 +1,48 @@
+"""Synchronous client facade over a simulated cluster.
+
+Applications and examples want a blocking call style ("update, then scan,
+then look at the result"); :class:`SnapshotClient` provides it by driving
+the simulation until the invoked operation completes.  Concurrency across
+nodes still happens — while one client's operation is in flight the
+simulation executes every other node's traffic — but each *facade call*
+is blocking, which keeps application code straightforward.
+
+For fully concurrent workloads (the benchmark harness), schedule
+operations directly on the :class:`~repro.runtime.cluster.Cluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.tags import Snapshot
+from repro.runtime.cluster import Cluster, OpHandle
+
+
+class SnapshotClient:
+    """Blocking update/scan client for one node of a cluster."""
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        self.cluster = cluster
+        self.node = node
+
+    def call(self, opname: str, *args: Any) -> OpHandle:
+        """Invoke any client operation and run the sim to its completion."""
+        handle = self.cluster.invoke(self.node, opname, *args)
+        self.cluster.run_until_complete([handle])
+        if handle.aborted:
+            raise RuntimeError(
+                f"operation {opname} at node {self.node} aborted (node crashed)"
+            )
+        return handle
+
+    def update(self, value: Any) -> OpHandle:
+        """Write ``value`` into this node's segment (blocking)."""
+        return self.call("update", value)
+
+    def scan(self) -> Snapshot:
+        """Take an instantaneous snapshot of all segments (blocking)."""
+        return self.call("scan").result
+
+
+__all__ = ["SnapshotClient"]

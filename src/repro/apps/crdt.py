@@ -1,0 +1,174 @@
+"""Linearizable CRDTs over a snapshot object [37].
+
+State-based CRDTs replicate a join-semilattice per node and merge; their
+usual weakness is eventual (not linearizable) reads.  Backing the per-node
+contributions with an ASO segment turns ``merge-of-all-segments`` into an
+*instantaneous* read: every query merges a consistent cut, so queries are
+linearizable with respect to mutations (Skrzypczak et al.'s observation,
+which the paper cites as an ASO application).
+
+Each CRDT stores node ``i``'s contribution in segment ``i`` (single
+writer) and evaluates queries from a SCAN:
+
+- :class:`GCounter` — grow-only counter (segment: local count);
+- :class:`PNCounter` — increment/decrement counter (segment: (pos, neg));
+- :class:`ORSet` — observed-remove set (segment: (adds, removed-ids));
+- :class:`LWWRegister` — last-writer-wins register (segment:
+  (logical-ts, node, value)).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Iterable
+
+from repro.apps.client import SnapshotClient
+from repro.core.tags import Snapshot
+from repro.runtime.cluster import Cluster
+
+
+class _CrdtBase:
+    """Shared plumbing: one segment per node, blocking update/scan."""
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        self._client = SnapshotClient(cluster, node)
+        self.node = node
+        self.n = cluster.n
+
+    def _publish(self, contribution: Any) -> None:
+        self._client.update(contribution)
+
+    def _segments(self) -> tuple[Any, ...]:
+        return self._client.scan().values
+
+
+class GCounter(_CrdtBase):
+    """Grow-only counter: ``increment`` adds locally, ``value`` sums all
+    segments from one snapshot."""
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        super().__init__(cluster, node)
+        self._count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("GCounter can only grow; use PNCounter")
+        self._count += amount
+        self._publish(self._count)
+
+    def value(self) -> int:
+        return sum(seg or 0 for seg in self._segments())
+
+
+class PNCounter(_CrdtBase):
+    """Increment/decrement counter: segment is a (plus, minus) pair."""
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        super().__init__(cluster, node)
+        self._plus = 0
+        self._minus = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("negative amount; use decrement")
+        self._plus += amount
+        self._publish((self._plus, self._minus))
+
+    def decrement(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("negative amount; use increment")
+        self._minus += amount
+        self._publish((self._plus, self._minus))
+
+    def value(self) -> int:
+        total = 0
+        for seg in self._segments():
+            if seg is not None:
+                plus, minus = seg
+                total += plus - minus
+        return total
+
+
+class ORSet(_CrdtBase):
+    """Observed-remove set.
+
+    Adds are tagged with unique ids ``(node, seq)``; a remove tombstones
+    the ids of the element that are *visible in a snapshot* (observed).
+    Segment: ``(adds, removed)`` where ``adds`` is a tuple of
+    ``(id, element)`` and ``removed`` a tuple of tombstoned ids.
+    """
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        super().__init__(cluster, node)
+        self._adds: tuple[tuple[tuple[int, int], Hashable], ...] = ()
+        self._removed: tuple[tuple[int, int], ...] = ()
+        self._ids = itertools.count(1)
+
+    def add(self, element: Hashable) -> None:
+        uid = (self.node, next(self._ids))
+        self._adds = self._adds + ((uid, element),)
+        self._publish((self._adds, self._removed))
+
+    def remove(self, element: Hashable) -> None:
+        """Remove the currently observed add-ids of ``element``."""
+        observed = [
+            uid
+            for (uid, el), _ in self._iter_adds(self._segments())
+            if el == element
+        ]
+        if observed:
+            self._removed = self._removed + tuple(
+                uid for uid in observed if uid not in self._removed
+            )
+        self._publish((self._adds, self._removed))
+
+    def contains(self, element: Hashable) -> bool:
+        return element in self.elements()
+
+    def elements(self) -> frozenset[Hashable]:
+        segments = self._segments()
+        removed: set[tuple[int, int]] = set()
+        for seg in segments:
+            if seg is not None:
+                removed.update(seg[1])
+        live = set()
+        for (uid, el), _ in self._iter_adds(segments):
+            if uid not in removed:
+                live.add(el)
+        return frozenset(live)
+
+    @staticmethod
+    def _iter_adds(segments: Iterable[Any]):
+        for seg in segments:
+            if seg is not None:
+                for entry in seg[0]:
+                    yield entry, None
+
+
+class LWWRegister(_CrdtBase):
+    """Last-writer-wins register: logical timestamps ``(counter, node)``;
+    a write first scans to learn the current maximum timestamp, so
+    successive writes (by anyone) are totally ordered."""
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        super().__init__(cluster, node)
+
+    def write(self, value: Any) -> None:
+        current = self._max_entry(self._segments())
+        counter = current[0] + 1 if current else 1
+        self._publish((counter, self.node, value))
+
+    def read(self) -> Any:
+        entry = self._max_entry(self._segments())
+        return entry[2] if entry else None
+
+    @staticmethod
+    def _max_entry(segments: Iterable[Any]):
+        best = None
+        for seg in segments:
+            if seg is not None and (best is None or seg[:2] > best[:2]):
+                best = seg
+        return best
+
+
+__all__ = ["GCounter", "PNCounter", "ORSet", "LWWRegister"]

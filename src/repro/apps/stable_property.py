@@ -1,0 +1,97 @@
+"""Stable-property detection over consistent snapshots.
+
+The paper lists "detecting stable properties to debug distributed
+programs" among ASO applications.  A *stable* property is one that, once
+true of the global state, remains true (termination, deadlock, lost
+token).  Detecting it soundly requires a *consistent* global state — which
+is exactly what an ASO scan returns: because scans are linearizable, a
+scan is a global state that actually occurred.  Hence:
+
+    property holds in some SCAN  ⟹  property holds forever after.
+
+:class:`StablePropertyMonitor` is the generic detector (arbitrary
+predicate over the segment vector); :class:`TerminationDetector`
+instantiates it for diffusing-computation termination using the classic
+(state, sent, received) counters: the computation has terminated iff every
+node is passive and total sent equals total received — evaluated on one
+consistent cut, this is sound (no "ghost" in-flight messages can hide,
+because the cut is a real global state)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.apps.client import SnapshotClient
+from repro.runtime.cluster import Cluster
+
+
+class StablePropertyMonitor:
+    """Detects a stable property of application states published through
+    the snapshot object.
+
+    Each node publishes its local application state into its segment with
+    :meth:`publish`; any node may :meth:`check` the global predicate on a
+    consistent cut.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node: int,
+        predicate: Callable[[Sequence[Any]], bool],
+    ) -> None:
+        self._client = SnapshotClient(cluster, node)
+        self._predicate = predicate
+        self.node = node
+
+    def publish(self, local_state: Any) -> None:
+        """Publish this node's current local state."""
+        self._client.update(local_state)
+
+    def check(self) -> bool:
+        """Evaluate the predicate on one consistent global cut."""
+        return bool(self._predicate(self._client.scan().values))
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessStatus:
+    """Published per-node status for termination detection."""
+
+    active: bool
+    sent: int
+    received: int
+
+
+def _terminated(segments: Sequence[Any]) -> bool:
+    total_sent = total_received = 0
+    for seg in segments:
+        if seg is None:
+            return False  # a node has not reported yet
+        if seg.active:
+            return False
+        total_sent += seg.sent
+        total_received += seg.received
+    return total_sent == total_received
+
+
+class TerminationDetector(StablePropertyMonitor):
+    """Termination detection for a diffusing computation.
+
+    A node reports ``(active, sent, received)``; the computation has
+    terminated iff all nodes are passive and no application message is in
+    flight (``Σ sent = Σ received``) on a consistent cut.
+    """
+
+    def __init__(self, cluster: Cluster, node: int) -> None:
+        super().__init__(cluster, node, _terminated)
+
+    def report(self, *, active: bool, sent: int, received: int) -> None:
+        self.publish(ProcessStatus(active=active, sent=sent, received=received))
+
+
+__all__ = [
+    "StablePropertyMonitor",
+    "TerminationDetector",
+    "ProcessStatus",
+]

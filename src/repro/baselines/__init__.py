@@ -1,0 +1,32 @@
+"""Baseline snapshot-object algorithms — the other rows of Table I.
+
+Each baseline is implemented from scratch against the same sans-io node
+API as EQ-ASO, returns the same :class:`repro.core.tags.Snapshot` type,
+records into the same history, and is validated by the same Theorem 1
+checkers.  Their *measured* latency shapes reproduce the paper's
+complexity table:
+
+============================  ==============  ==============
+algorithm                     UPDATE          SCAN
+============================  ==============  ==============
+:class:`DelporteAso` [19]     ``O(D)``        ``O(n·D)``
+:class:`StoreCollectAso` [12] ``O(n·D)``      ``O(n·D)``
+:class:`ScdAso` [29]          ``O(k·D)``      ``O(k·D)``
+:class:`LatticeAso` [41,42]   ``O(log n·D)``  ``O(log n·D)``
+============================  ==============  ==============
+"""
+
+from repro.baselines.delporte import DelporteAso
+from repro.baselines.store_collect import StoreCollectAso, StoreCollectObject
+from repro.baselines.scd_broadcast import ScdAso, ScdBroadcastNode
+from repro.baselines.la_based import ClassifierLA, LatticeAso
+
+__all__ = [
+    "DelporteAso",
+    "StoreCollectAso",
+    "StoreCollectObject",
+    "ScdAso",
+    "ScdBroadcastNode",
+    "ClassifierLA",
+    "LatticeAso",
+]

@@ -1,0 +1,189 @@
+"""Baseline [12]: Attiya, Kumari, Soman & Welch (SSS'20), "Store-collect in
+the presence of continuous churn with application to snapshots and lattice
+agreement" — snapshot built on a *store-collect* object.
+
+We implement the store-collect primitive in a static crash-prone system
+(their churn machinery collapses to plain ``n − f`` quorums when the
+membership is fixed, which is the setting of Table I) and the snapshot
+construction on top:
+
+- **store(x)** — broadcast the value with a sequence number, wait for
+  ``n − f`` acknowledgements;
+- **collect()** — query all, wait for ``n − f`` replies, merge.
+
+Snapshot construction: stored values are *cumulative views* — grow-only
+sets of ``(writer, useq, value)`` triples — so a store by an updater
+transports everything the updater knew:
+
+- **UPDATE(v)**: stable-collect the current global view ``U`` (collect
+  until ``n − f`` replicas confirm the merged view — the pull-based
+  stabilization this family of algorithms relies on), then
+  ``store(U ∪ {(i, useq, v)})``;
+- **SCAN**: stable-collect and return the extraction of the confirmed
+  view.
+
+Both operations pay the stable-collect, hence ``O(n·D)`` worst case under
+concurrency — the paper's Table I row for [12] (UPDATE ``O(n·D)``, SCAN
+``O(n·D)``).  Comparability of confirmed views follows from quorum
+intersection on monotone replica state, prefix closure from the fact that
+``(j, s)`` only ever enters the system inside a stored set that contains
+``(j, s−1)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.tags import Snapshot, Timestamp, ValueTs, extract
+from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
+
+Triple = tuple[int, int, Any]  # (writer, useq, value)
+
+
+@dataclass(frozen=True, slots=True)
+class MStore:
+    seq: int
+    view: frozenset[Triple]
+
+
+@dataclass(frozen=True, slots=True)
+class MStoreAck:
+    writer: int
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class MQuery:
+    reqid: int
+    view: frozenset[Triple]
+
+
+@dataclass(frozen=True, slots=True)
+class MQueryAck:
+    reqid: int
+    view: frozenset[Triple]
+
+
+class StoreCollectObject(ProtocolNode):
+    """The bare store-collect primitive of [12] (static membership).
+
+    Exposes :meth:`store` and :meth:`collect` as client operations; the
+    snapshot construction below subclasses it.  Replica state is the
+    union of everything ever stored or carried by queries (monotone).
+    """
+
+    def __init__(self, node_id: int, n: int, f: int) -> None:
+        super().__init__(node_id, n, f)
+        if n <= 2 * f:
+            raise ValueError(f"store-collect requires n > 2f (n={n}, f={f})")
+        self.knowledge: frozenset[Triple] = frozenset()
+        self._store_seq = 0
+        self._reqids = itertools.count(1)
+        self._store_acks: dict[int, set[int]] = {}
+        self._query_acks: dict[int, dict[int, frozenset[Triple]]] = {}
+        self.collect_rounds = 0
+
+    # -- primitive operations -------------------------------------------
+    def store(self, view: frozenset[Triple]) -> OpGen:
+        """store(x): one quorum round trip."""
+        self._store_seq += 1
+        seq = self._store_seq
+        self.knowledge |= view
+        self._store_acks[seq] = set()
+        self.broadcast(MStore(seq, frozenset(view)))
+        yield WaitUntil(
+            lambda: len(self._store_acks[seq]) >= self.quorum_size,
+            f"store ack quorum (seq {seq})",
+        )
+        del self._store_acks[seq]
+        return "ACK"
+
+    def collect(self) -> OpGen:
+        """collect(): one query round trip, merged result (no stability)."""
+        reqid = next(self._reqids)
+        acks: dict[int, frozenset[Triple]] = {}
+        self._query_acks[reqid] = acks
+        self.broadcast(MQuery(reqid, self.knowledge))
+        yield WaitUntil(
+            lambda: len(acks) >= self.quorum_size,
+            f"collect quorum (req {reqid})",
+        )
+        del self._query_acks[reqid]
+        for view in acks.values():
+            self.knowledge |= view
+        return self.knowledge
+
+    def stable_collect(self) -> OpGen:
+        """Collect until ``n − f`` replicas confirm the exact merged view
+        (each concurrent store can force one extra round → O(n·D))."""
+        while True:
+            self.collect_rounds += 1
+            reqid = next(self._reqids)
+            acks: dict[int, frozenset[Triple]] = {}
+            self._query_acks[reqid] = acks
+            query_view = self.knowledge
+            self.broadcast(MQuery(reqid, query_view))
+            yield WaitUntil(
+                lambda: len(acks) >= self.quorum_size,
+                f"stable-collect quorum (req {reqid})",
+            )
+            del self._query_acks[reqid]
+            confirmations = sum(1 for v in acks.values() if v == query_view)
+            for view in acks.values():
+                self.knowledge |= view
+            if confirmations >= self.quorum_size and self.knowledge == query_view:
+                return query_view
+
+    # -- server thread ----------------------------------------------------
+    def on_message(self, src: int, payload: Any) -> None:
+        match payload:
+            case MStore(seq, view):
+                self.knowledge |= view
+                self.send(src, MStoreAck(src, seq))
+            case MStoreAck(_, seq):
+                acks = self._store_acks.get(seq)
+                if acks is not None:
+                    acks.add(src)
+            case MQuery(reqid, view):
+                self.knowledge |= view
+                self.send(src, MQueryAck(reqid, self.knowledge))
+            case MQueryAck(reqid, view):
+                acks = self._query_acks.get(reqid)
+                if acks is not None:
+                    acks[src] = view
+            case _:
+                raise TypeError(f"store-collect got unknown message {payload!r}")
+
+
+class StoreCollectAso(StoreCollectObject):
+    """Snapshot object built on store-collect, per [12]'s application
+    section (``n > 2f``; UPDATE and SCAN both ``O(n·D)`` worst case)."""
+
+    def __init__(self, node_id: int, n: int, f: int) -> None:
+        super().__init__(node_id, n, f)
+        self._useq = 0
+
+    def update(self, value: Any) -> OpGen:
+        """UPDATE(v) = stable-collect ∪ own triple, then store."""
+        base = yield from self.stable_collect()
+        self._useq += 1
+        view = frozenset(base | {(self.node_id, self._useq, value)})
+        yield from self.store(view)
+        return "ACK"
+
+    def scan(self) -> OpGen:
+        """SCAN = stable-collect, extract."""
+        view = yield from self.stable_collect()
+        return self._to_snapshot(view)
+
+    def _to_snapshot(self, view: frozenset[Triple]) -> Snapshot:
+        vts = [
+            ValueTs(value, Timestamp(useq, writer), useq)
+            for (writer, useq, value) in view
+        ]
+        return extract(vts, self.n)
+
+
+__all__ = ["StoreCollectObject", "StoreCollectAso"]

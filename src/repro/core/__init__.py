@@ -1,0 +1,40 @@
+"""The paper's contribution: equivalence-quorum snapshot objects.
+
+Contents:
+
+- :mod:`repro.core.tags` — timestamps ``⟨r, i⟩``, value–timestamp pairs and
+  the :class:`~repro.core.tags.Snapshot` result type (Sec. III-D
+  "Variables", footnote 2).
+- :mod:`repro.core.views` — view vectors ``V``, ``V^{≤r}`` and the
+  equivalence-quorum predicate ``EQ(V, i)`` (Definition 6).
+- :mod:`repro.core.one_shot` — the one-shot ASO of Sec. III-C.
+- :mod:`repro.core.eq_aso` — Algorithm 1, the multi-shot EQ-ASO.
+- :mod:`repro.core.sso` — SSO-Fast-Scan (local, zero-communication SCAN).
+- :mod:`repro.core.byz_aso` / :mod:`repro.core.byz_sso` — Byzantine
+  variants (tech-report reconstruction; see DESIGN.md §3.3).
+- :mod:`repro.core.lattice_agreement` — the early-stopping one-shot
+  lattice agreement extracted from the framework (Sec. I-B).
+"""
+
+from repro.core.tags import Snapshot, Timestamp, ValueTs
+from repro.core.views import ViewVector, eq_predicate
+from repro.core.one_shot import OneShotAso
+from repro.core.eq_aso import EqAso
+from repro.core.sso import SsoFastScan
+from repro.core.byz_aso import ByzantineAso
+from repro.core.byz_sso import ByzantineSso
+from repro.core.lattice_agreement import EarlyStoppingLA
+
+__all__ = [
+    "Snapshot",
+    "Timestamp",
+    "ValueTs",
+    "ViewVector",
+    "eq_predicate",
+    "OneShotAso",
+    "EqAso",
+    "SsoFastScan",
+    "ByzantineAso",
+    "ByzantineSso",
+    "EarlyStoppingLA",
+]

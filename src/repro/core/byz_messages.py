@@ -1,0 +1,41 @@
+"""Extra wire messages of the Byzantine snapshot variants.
+
+The Byzantine algorithm replaces the raw ``value`` gossip of Algorithm 1
+with Bracha-RBC dissemination plus explicit per-node ``HAVE``
+announcements (which rebuild the row semantics of ``V``), and enriches
+``goodLA`` with the view's contents so borrowed views can be verified by
+``f+1``-matching (see DESIGN.md §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tags import ValueTs
+
+
+@dataclass(frozen=True, slots=True)
+class MHave:
+    """Announcement that the sender has RBC-delivered ``vt``.
+
+    An honest node sends exactly one ``HAVE`` per delivered value, in
+    delivery order; with FIFO channels this restores Observation 1 (rows
+    of honest nodes are prefixes of one sequence, hence comparable)."""
+
+    vt: ValueTs
+
+
+@dataclass(frozen=True, slots=True)
+class MByzGoodLA:
+    """A ``goodLA`` carrying the view contents.
+
+    A borrower accepts a view only when ``f+1`` distinct senders claim an
+    *identical* ``(tag, ids)`` pair — at least one of them is honest, so
+    the view is a genuine good-lattice view — and every value in it has
+    been RBC-delivered locally."""
+
+    tag: int
+    ids: frozenset[ValueTs]
+
+
+__all__ = ["MHave", "MByzGoodLA"]

@@ -1,0 +1,35 @@
+"""Byzantine-tolerant sequentially consistent snapshot object.
+
+Same recipe as :class:`~repro.core.sso.SsoFastScan`, applied to
+:class:`~repro.core.byz_aso.ByzantineAso`: UPDATE is unchanged; SCAN
+returns ``extract(safeView)`` locally with zero communication.  The safe
+view accumulates only *verified* views — the node's own good-lattice views
+and ``f+1``-matching borrowed views — so a Byzantine node cannot poison the
+local vector honest scans are served from.
+"""
+
+from __future__ import annotations
+
+from repro.core.byz_aso import ByzantineAso
+from repro.core.eq_aso import View
+from repro.core.tags import ValueTs, extract
+from repro.runtime.protocol import OpGen
+
+
+class ByzantineSso(ByzantineAso):
+    """Byzantine SSO with O(1), zero-message SCAN (``n > 3f``)."""
+
+    def __init__(self, node_id: int, n: int, f: int) -> None:
+        super().__init__(node_id, n, f)
+        self._safe_view: set[ValueTs] = set()
+
+    def _on_safe_view(self, view: View) -> None:
+        self._safe_view |= view
+
+    def scan(self) -> OpGen:
+        """SCAN() — local, no communication, no waiting."""
+        yield from ()
+        return extract(frozenset(self._safe_view), self.n)
+
+
+__all__ = ["ByzantineSso"]

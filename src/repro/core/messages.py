@@ -1,0 +1,89 @@
+"""Wire messages of the equivalence-quorum protocols (Algorithm 1).
+
+One frozen dataclass per message kind named in the paper's pseudocode:
+``value``, ``writeTag``, ``writeAck``, ``echoTag``, ``readTag``,
+``readAck``, ``goodLA`` — plus the one-shot protocol's value
+acknowledgement.  ``reqid`` fields scope acknowledgements to the request
+that solicited them: the paper's "wait until receiving ≥ n−f acks" means
+acks *for this request*; counting a stale ack from an earlier round could
+return an outdated tag and break the ``op_i → op_j ⟹ T_i ≤ T_j``
+invariant that Lemma 3 rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.tags import ValueTs
+
+
+@dataclass(frozen=True, slots=True)
+class MValue:
+    """("value", ⟨v, ts⟩) — a written or forwarded value (lines 6, 42)."""
+
+    vt: ValueTs
+
+
+@dataclass(frozen=True, slots=True)
+class MValueAck:
+    """One-shot protocol only: acknowledgement of a value (Sec. III-C:
+    an UPDATE "waits for a quorum of acknowledgements")."""
+
+    vt: ValueTs
+
+
+@dataclass(frozen=True, slots=True)
+class MWriteTag:
+    """("writeTag", tag) — line 38; ``reqid`` scopes the acks."""
+
+    tag: int
+    reqid: int
+
+
+@dataclass(frozen=True, slots=True)
+class MWriteAck:
+    """("writeAck", tag) — line 46 response."""
+
+    tag: int
+    reqid: int
+
+
+@dataclass(frozen=True, slots=True)
+class MEchoTag:
+    """("echoTag", tag) — line 45; disseminates a first-seen tag."""
+
+    tag: int
+
+
+@dataclass(frozen=True, slots=True)
+class MReadTag:
+    """("readTag") — line 35; ``reqid`` scopes the acks."""
+
+    reqid: int
+
+
+@dataclass(frozen=True, slots=True)
+class MReadAck:
+    """("readAck", maxTag) — line 48 response."""
+
+    tag: int
+    reqid: int
+
+
+@dataclass(frozen=True, slots=True)
+class MGoodLA:
+    """("goodLA", r) — line 18: the sender completed a good lattice
+    operation with tag ``r``; receivers may borrow its view (line 49)."""
+
+    tag: int
+
+
+__all__ = [
+    "MValue",
+    "MValueAck",
+    "MWriteTag",
+    "MWriteAck",
+    "MEchoTag",
+    "MReadTag",
+    "MReadAck",
+    "MGoodLA",
+]

@@ -1,0 +1,94 @@
+"""The one-shot ASO of Sec. III-C ("One-Shot ASO based on Equivalence
+Quorum").
+
+Each node invokes at most one UPDATE.  An UPDATE sends its value to all and
+waits for ``n − f`` acknowledgements; every node forwards each value the
+first time it sees it; a SCAN waits for the *unrestricted* equivalence
+quorum predicate ``EQ(V, i)`` and returns the extraction of the
+equivalence set.  This is the object Figure 2 illustrates, and it is also
+the computational core of the early-stopping lattice agreement algorithm
+(:mod:`repro.core.lattice_agreement` subclasses the same machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import MValue, MValueAck
+from repro.core.tags import Timestamp, ValueTs, extract
+from repro.core.views import ViewVector, eq_predicate
+from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
+
+
+class OneShotAso(ProtocolNode):
+    """One-shot atomic snapshot object (Sec. III-C).
+
+    Requires ``n > 2f``.  Raises if a node updates twice (the multi-shot
+    object, :class:`repro.core.eq_aso.EqAso`, lifts that restriction).
+    """
+
+    def __init__(self, node_id: int, n: int, f: int) -> None:
+        super().__init__(node_id, n, f)
+        if n <= 2 * f:
+            raise ValueError(f"one-shot ASO requires n > 2f (n={n}, f={f})")
+        self.V = ViewVector(n)
+        self._seen: set[ValueTs] = set()
+        self._acks: dict[ValueTs, set[int]] = {}
+        self._updated = False
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def update(self, value: Any) -> OpGen:
+        """UPDATE(v): send the value to all, await an ack quorum."""
+        if self._updated:
+            raise RuntimeError("one-shot ASO: node already updated")
+        self._updated = True
+        vt = ValueTs(value, Timestamp(1, self.node_id), useq=1)
+        self._seen.add(vt)
+        self._acks[vt] = set()
+        self.broadcast(MValue(vt))
+        yield WaitUntil(
+            lambda: len(self._acks[vt]) >= self.quorum_size,
+            f"one-shot update ack quorum for {vt!r}",
+        )
+        return "ACK"
+
+    def scan(self) -> OpGen:
+        """SCAN(): wait for EQ(V, i), return extract(equivalence set)."""
+        holder: list[frozenset[ValueTs]] = []
+
+        def pred() -> bool:
+            hit = eq_predicate(self.V, self.node_id, self.f)
+            if hit is None:
+                return False
+            holder.append(hit[1])
+            return True
+
+        yield WaitUntil(pred, f"EQ(V, {self.node_id})")
+        return extract(holder[-1], self.n)
+
+    # ------------------------------------------------------------------
+    # server thread
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, payload: Any) -> None:
+        match payload:
+            case MValue(vt):
+                self.V.add(src, vt)
+                self.V.add(self.node_id, vt)
+                if vt not in self._seen:
+                    self._seen.add(vt)
+                    self.broadcast(MValue(vt))
+                # ack the *writer* so its update can complete
+                if vt.writer != self.node_id:
+                    self.send(vt.writer, MValueAck(vt))
+                elif vt in self._acks:
+                    self._acks[vt].add(self.node_id)
+            case MValueAck(vt):
+                if vt in self._acks:
+                    self._acks[vt].add(src)
+            case _:
+                raise TypeError(f"one-shot ASO got unknown message {payload!r}")
+
+
+__all__ = ["OneShotAso"]

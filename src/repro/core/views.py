@@ -1,0 +1,117 @@
+"""View vectors and the equivalence-quorum predicate (Definition 6).
+
+Node ``i`` maintains ``V[1..n]`` where ``V[j]`` is the set of values
+(value–timestamp pairs) received from node ``j``.  Because channels are
+FIFO and each node forwards every value exactly once, ``V_i[j]`` is ``i``'s
+view of what ``j`` has learned (Sec. III-C), which yields the comparability
+property of Observation 1.
+
+``EQ(V, i)`` holds iff at least ``n − f`` rows (an *equivalence quorum*)
+equal row ``i`` (the *equivalence set*).  The multi-shot algorithm checks
+the predicate on the tag-restricted vector ``V^{≤r}``.
+"""
+
+from __future__ import annotations
+
+from repro.core.tags import ValueTs
+
+
+class ViewVector:
+    """The vector ``V[0..n-1]`` of value sets at one node.
+
+    Rows only ever grow; the class exploits that to cache tag-restricted
+    rows (the EQ predicate is re-evaluated after every delivery while a
+    lattice operation waits, and most rows are unchanged between checks).
+    """
+
+    __slots__ = ("n", "_rows", "_filter_cache")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._rows: list[set[ValueTs]] = [set() for _ in range(n)]
+        self._filter_cache: dict[tuple[int, int], tuple[int, frozenset[ValueTs]]] = {}
+
+    def add(self, j: int, vt: ValueTs) -> bool:
+        """Add ``vt`` to row ``j``; returns True if it was new to that row."""
+        row = self._rows[j]
+        if vt in row:
+            return False
+        row.add(vt)
+        return True
+
+    def row(self, j: int) -> frozenset[ValueTs]:
+        """A read-only snapshot of row ``j`` (the full, unrestricted view)."""
+        return frozenset(self._rows[j])
+
+    def row_size(self, j: int) -> int:
+        return len(self._rows[j])
+
+    def contains(self, j: int, vt: ValueTs) -> bool:
+        return vt in self._rows[j]
+
+    def restricted_row(self, j: int, r: int) -> frozenset[ValueTs]:
+        """``V[j]^{≤r}`` — the values in row ``j`` with tag at most ``r``."""
+        key = (j, r)
+        size = len(self._rows[j])
+        hit = self._filter_cache.get(key)
+        if hit is not None and hit[0] == size:
+            return hit[1]
+        filtered = frozenset(vt for vt in self._rows[j] if vt.ts.tag <= r)
+        self._filter_cache[key] = (size, filtered)
+        return filtered
+
+    def all_values(self) -> frozenset[ValueTs]:
+        """Union of all rows (every value this node has ever seen)."""
+        out: set[ValueTs] = set()
+        for row in self._rows:
+            out |= row
+        return frozenset(out)
+
+    def max_value_tag(self) -> int:
+        """Largest tag among received values (0 if none).
+
+        Note this is *not* the algorithm's ``maxTag`` variable: per the
+        paper (Sec. III-D, "Message Handlers"), ``maxTag`` is updated only
+        by writeTag/echoTag messages — a dedicated test pins that rule.
+        This helper only feeds diagnostics.
+        """
+        best = 0
+        for row in self._rows:
+            for vt in row:
+                if vt.ts.tag > best:
+                    best = vt.ts.tag
+        return best
+
+
+def eq_predicate(
+    V: ViewVector, i: int, f: int, r: int | None = None
+) -> tuple[tuple[int, ...], frozenset[ValueTs]] | None:
+    """Evaluate ``EQ(V^{≤r}, i)`` (Definition 6).
+
+    Args:
+        V: the node's view vector.
+        i: the node evaluating the predicate.
+        f: fault threshold; the quorum size is ``n − f``.
+        r: tag bound; ``None`` means the unrestricted predicate (one-shot
+           algorithm, Sec. III-C).
+
+    Returns:
+        ``(quorum, equivalence_set)`` if the predicate holds — the quorum
+        is the sorted tuple of *all* matching rows (a superset of some
+        ``n − f``-quorum) — else ``None``.
+    """
+    n = V.n
+    need = n - f
+    if r is None:
+        target: frozenset[ValueTs] = V.row(i)
+        rows = [V.row(j) for j in range(n)]
+    else:
+        target = V.restricted_row(i, r)
+        rows = [V.restricted_row(j, r) for j in range(n)]
+    quorum = tuple(j for j in range(n) if rows[j] == target)
+    if len(quorum) >= need:
+        return quorum, target
+    return None
+
+
+__all__ = ["ViewVector", "eq_predicate"]

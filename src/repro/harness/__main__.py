@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.harness [experiment ...]``.
+
+With no arguments, runs every registered experiment and prints the
+results — the full table/figure regeneration pass recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    names = args or list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+            return 2
+        result = run_experiment(name)
+        print(result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Byzantine experiments (BYZ-K): the ``O(k·D)`` degradation claim.
+
+Measures honest-node operation latency as the number of *active*
+Byzantine nodes grows, for each attack behaviour in the repertoire, and
+verifies that every resulting honest history stays linearizable (safety
+is unconditional; see DESIGN.md §3.3 for the liveness regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.byz_aso import ByzantineAso
+from repro.harness.metrics import summarize
+from repro.net.byzantine import (
+    AckForger,
+    ByzantineBehavior,
+    FakeGoodLA,
+    Silent,
+    TagFlooder,
+    byzantine_factory,
+)
+from repro.runtime.cluster import Cluster
+from repro.spec import is_linearizable
+
+BEHAVIOURS: dict[str, Callable[[], ByzantineBehavior]] = {
+    "silent": Silent,
+    "tag-flooder": TagFlooder,
+    "ack-forger": AckForger,
+    "fake-goodLA": FakeGoodLA,
+}
+
+
+@dataclass(slots=True)
+class ByzPoint:
+    behaviour: str
+    num_byzantine: int
+    n: int
+    update_mean_D: float
+    scan_mean_D: float
+    linearizable: bool
+
+
+def byz_scaling(
+    byz_counts: Sequence[int] = (0, 1, 2, 3),
+    behaviour: str = "tag-flooder",
+    ops_per_honest: int = 2,
+) -> list[ByzPoint]:
+    """Honest op latency vs the number of Byzantine nodes.
+
+    ``n = 3·max(byz) + 4`` is held fixed across the sweep so only the
+    number of *actual* faults varies (the paper's ``k``), not the system
+    size.
+    """
+    make = BEHAVIOURS[behaviour]
+    f_cap = max(byz_counts)
+    n = 3 * f_cap + 4
+    points: list[ByzPoint] = []
+    for k in byz_counts:
+        byz_nodes = {n - 1 - i: make() for i in range(k)}
+        factory = byzantine_factory(ByzantineAso, byz_nodes)
+        cluster = Cluster(factory, n=n, f=f_cap)
+        handles = []
+        honest = [i for i in range(n) if i not in byz_nodes]
+        for idx, node in enumerate(honest[: max(4, ops_per_honest)]):
+            ops = []
+            for i in range(ops_per_honest):
+                ops.append(("update", (f"v{node}.{i}",)))
+                ops.append(("scan", ()))
+            handles.extend(cluster.chain_ops(node, ops, start=idx * 0.2))
+        cluster.run_until_complete(handles)
+        stats = {
+            kind: summarize([h for h in handles if h.kind == kind], cluster.D)
+            for kind in ("update", "scan")
+        }
+        points.append(
+            ByzPoint(
+                behaviour=behaviour,
+                num_byzantine=k,
+                n=n,
+                update_mean_D=stats["update"].mean,
+                scan_mean_D=stats["scan"].mean,
+                linearizable=is_linearizable(cluster.history),
+            )
+        )
+    return points
+
+
+def byz_safety_matrix(
+    num_byzantine: int = 1, n: int = 7
+) -> dict[str, bool]:
+    """Run every behaviour once; report per-behaviour linearizability of
+    the honest history (all must be True)."""
+    results: dict[str, bool] = {}
+    f = (n - 1) // 3
+    for name, make in BEHAVIOURS.items():
+        byz_nodes = {n - 1 - i: make() for i in range(num_byzantine)}
+        factory = byzantine_factory(ByzantineAso, byz_nodes)
+        cluster = Cluster(factory, n=n, f=f)
+        handles = []
+        for node in range(min(3, n - num_byzantine)):
+            handles.extend(
+                cluster.chain_ops(
+                    node,
+                    [("update", (f"a{node}",)), ("scan", ()), ("update", (f"b{node}",)), ("scan", ())],
+                    start=node * 0.3,
+                )
+            )
+        cluster.run_until_complete(handles)
+        results[name] = is_linearizable(cluster.history)
+    return results
+
+
+__all__ = ["BEHAVIOURS", "ByzPoint", "byz_scaling", "byz_safety_matrix"]

@@ -1,0 +1,82 @@
+"""Message-complexity measurements.
+
+The paper optimizes *time* in units of ``D``, arguing message and time
+complexity are the currencies of message-passing systems (Sec. I).  The
+flip side of EQ-ASO's proactive forwarding is its message bill: every
+value is forwarded once by every node (``Θ(n²)`` messages per UPDATE),
+whereas the pull-based baselines move ``Θ(n)`` messages per operation in
+the failure-free case.  This experiment measures the exchange rate: total
+messages for one quiet UPDATE and one quiet SCAN, per algorithm, versus
+``n`` — the data a practitioner needs to pick a point on the
+latency/bandwidth trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines import DelporteAso, LatticeAso, ScdAso, StoreCollectAso
+from repro.core import EqAso, SsoFastScan
+from repro.runtime.cluster import Cluster
+
+
+@dataclass(slots=True)
+class MessageCosts:
+    algorithm: str
+    n: int
+    update_messages: int
+    scan_messages: int
+
+
+def message_costs(
+    ns: Sequence[int] = (4, 7, 10, 16),
+    algorithms: dict[str, Callable] | None = None,
+) -> list[MessageCosts]:
+    """Network-wide message counts for one quiet update and one quiet
+    scan (including forwarding and acknowledgement traffic the operation
+    triggers anywhere in the cluster)."""
+    algos = algorithms or {
+        "Delporte [19]": DelporteAso,
+        "Store-collect [12]": StoreCollectAso,
+        "SCD [29]": ScdAso,
+        "LA-based [41,42]": LatticeAso,
+        "EQ-ASO": EqAso,
+        "SSO-Fast-Scan": SsoFastScan,
+    }
+    out: list[MessageCosts] = []
+    for label, factory in algos.items():
+        for n in ns:
+            f = (n - 1) // 2
+            cluster = Cluster(factory, n=n, f=f)
+            before = cluster.network.messages_sent
+            up = cluster.invoke_at(0.0, 0, "update", "x")
+            cluster.run_until_complete([up])
+            cluster.run(until=cluster.sim.now + 3 * cluster.D)  # drain echoes
+            after_update = cluster.network.messages_sent
+            sc = cluster.invoke(1, "scan")
+            cluster.run_until_complete([sc])
+            cluster.run(until=cluster.sim.now + 3 * cluster.D)
+            after_scan = cluster.network.messages_sent
+            out.append(
+                MessageCosts(
+                    algorithm=label,
+                    n=n,
+                    update_messages=after_update - before,
+                    scan_messages=after_scan - after_update,
+                )
+            )
+    return out
+
+
+def format_message_costs(rows: Sequence[MessageCosts]) -> list[str]:
+    lines = [f"{'algorithm':22s} {'n':>4s} {'update msgs':>12s} {'scan msgs':>10s}"]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:22s} {row.n:4d} {row.update_messages:12d} "
+            f"{row.scan_messages:10d}"
+        )
+    return lines
+
+
+__all__ = ["MessageCosts", "message_costs", "format_message_costs"]

@@ -1,0 +1,84 @@
+"""Latency metrics, expressed in units of the maximum message delay D.
+
+The paper measures time complexity on the observer clock, normalized by
+``D``.  All statistics here divide raw simulated latencies by the
+cluster's ``D`` so the reported numbers are directly comparable to the
+complexity table (e.g. a failure-free EQ-ASO scan measures 4.0 — the
+``2D`` readTag plus the ``2D`` lattice round).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.runtime.cluster import OpHandle
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Aggregate latency of a set of operations, in units of D."""
+
+    count: int
+    mean: float
+    maximum: float
+    minimum: float
+    total: float
+
+    @property
+    def amortized(self) -> float:
+        """Average time per operation — the paper's amortized measure."""
+        return self.mean
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}D max={self.maximum:.2f}D "
+            f"min={self.minimum:.2f}D"
+        )
+
+
+def summarize(handles: Iterable[OpHandle], D: float) -> LatencyStats:
+    """Latency statistics over the completed operations in ``handles``."""
+    lats = [h.latency / D for h in handles if h.done]
+    if not lats:
+        return LatencyStats(0, math.nan, math.nan, math.nan, 0.0)
+    return LatencyStats(
+        count=len(lats),
+        mean=sum(lats) / len(lats),
+        maximum=max(lats),
+        minimum=min(lats),
+        total=sum(lats),
+    )
+
+
+def by_kind(handles: Sequence[OpHandle], D: float) -> dict[str, LatencyStats]:
+    """Split statistics by operation kind (update / scan / ...)."""
+    kinds = sorted({h.kind for h in handles})
+    return {
+        kind: summarize([h for h in handles if h.kind == kind], D)
+        for kind in kinds
+    }
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x) — the measured growth
+    order (≈0 constant, ≈0.5 square-root, ≈1 linear).  Points with
+    non-positive coordinates are dropped."""
+    pts = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points")
+    mx = sum(p[0] for p in pts) / len(pts)
+    my = sum(p[1] for p in pts) / len(pts)
+    sxx = sum((p[0] - mx) ** 2 for p in pts)
+    sxy = sum((p[0] - mx) * (p[1] - my) for p in pts)
+    if sxx == 0:
+        return 0.0
+    return sxy / sxx
+
+
+__all__ = ["LatencyStats", "summarize", "by_kind", "growth_exponent"]

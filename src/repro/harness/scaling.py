@@ -1,0 +1,270 @@
+"""Scaling experiments: the paper's headline complexity claims as curves.
+
+- :func:`scale_k` — victim-operation latency vs the number of actual
+  failures ``k`` under the staircase adversary, for EQ-ASO and selected
+  baselines.  The measured EQ-ASO growth exponent (log-log slope) should
+  sit near 0.5 (the ``O(√k·D)`` bound of Lemma 8).
+- :func:`amortized_curve` — mean per-op latency of a victim op sequence
+  vs the sequence length at fixed ``k``: converges to a constant once the
+  sequence has ``Ω(√k)`` operations (Sec. III-F).
+- :func:`failure_free` — single-op latency vs ``n`` with no failures:
+  constant for every algorithm except the ``O(log n·D)`` LA-based one
+  (the paper's "constant time unconditionally" claim).
+- :func:`interference_scan` — victim scan latency vs ``n`` with every
+  other node streaming updates: grows linearly for the pull-based
+  baselines ([19], [12]) and stays flat for EQ-ASO (the double-collect
+  critique of Sec. III-B).
+- :func:`la_comparison` — early-stopping LA vs the classifier LA: the
+  early-stopping algorithm degrades with ``k`` only (constant when
+  ``k = 0``), the classifier pays its ``Θ(log n)`` rounds always.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines import DelporteAso, LatticeAso, ScdAso, StoreCollectAso
+from repro.core import EqAso, SsoFastScan
+from repro.core.lattice_agreement import EarlyStoppingLA, MLAValue
+from repro.baselines.la_based import ClassifierLA
+from repro.harness.adversary import (
+    chain_staircase,
+    interference_schedule,
+    staircase_cluster,
+    staircase_victim_latency,
+)
+from repro.harness.metrics import growth_exponent, summarize
+from repro.runtime.cluster import Cluster
+
+
+@dataclass(slots=True)
+class Curve:
+    """One measured curve: y(x) plus the fitted log-log growth exponent."""
+
+    label: str
+    xs: list[float]
+    ys: list[float]
+    exponent: float | None = None
+
+    def fit(self) -> "Curve":
+        try:
+            self.exponent = growth_exponent(self.xs, self.ys)
+        except ValueError:
+            self.exponent = None
+        return self
+
+
+def scale_k(
+    ks: Sequence[int] = (1, 3, 6, 10, 15, 21),
+    algorithms: dict[str, Callable] | None = None,
+    kind: str = "scan",
+) -> list[Curve]:
+    """Victim-op latency vs k under the staircase adversary."""
+    algos = algorithms or {"EQ-ASO": EqAso, "SCD-broadcast": ScdAso}
+    curves = []
+    for label, factory in algos.items():
+        xs: list[float] = []
+        ys: list[float] = []
+        for k in ks:
+            xs.append(k)
+            ys.append(staircase_victim_latency(factory, kind, k))
+        curves.append(Curve(label, xs, ys).fit())
+    return curves
+
+
+def amortized_curve(
+    k: int = 10, op_counts: Sequence[int] = (1, 2, 4, 8, 16, 32)
+) -> Curve:
+    """Mean EQ-ASO op latency vs sequence length at fixed k.  Once the
+    chains have fired, the crashed nodes can never expose another value
+    (Sec. III-F, second observation), so the mean converges to O(D)."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for count in op_counts:
+        cluster, scenario = staircase_cluster(EqAso, k)
+        handles = cluster.chain_ops(
+            scenario.victim, [("scan", ())] * count, start=2.0
+        )
+        cluster.run_until_complete(handles)
+        xs.append(count)
+        ys.append(summarize(handles, cluster.D).mean)
+    return Curve(f"EQ-ASO amortized (k={k})", xs, ys).fit()
+
+
+def failure_free(
+    ns: Sequence[int] = (4, 7, 10, 16, 25),
+    algorithms: dict[str, Callable] | None = None,
+) -> dict[str, list[Curve]]:
+    """Quiet-cluster single-op latency vs n, per op kind."""
+    algos = algorithms or {
+        "Delporte [19]": DelporteAso,
+        "Store-collect [12]": StoreCollectAso,
+        "SCD [29]": ScdAso,
+        "LA-based [41,42]": LatticeAso,
+        "EQ-ASO": EqAso,
+        "SSO-Fast-Scan": SsoFastScan,
+    }
+    out: dict[str, list[Curve]] = {"update": [], "scan": []}
+    for label, factory in algos.items():
+        for kind in ("update", "scan"):
+            xs: list[float] = []
+            ys: list[float] = []
+            for n in ns:
+                f = (n - 1) // 2
+                cluster = Cluster(factory, n=n, f=f)
+                # one completed update first so scans have content
+                warm = cluster.invoke_at(0.0, 1 % n, "update", "warm")
+                cluster.run_until_complete([warm])
+                args = ("x",) if kind == "update" else ()
+                op = cluster.invoke(0, kind, *args)
+                cluster.run_until_complete([op])
+                xs.append(n)
+                ys.append(op.latency / cluster.D)
+            out[kind].append(Curve(label, xs, ys).fit())
+    return out
+
+
+def interference_scan(
+    ns: Sequence[int] = (5, 9, 13, 17),
+    algorithms: dict[str, Callable] | None = None,
+    updates_per_writer: int = 3,
+    seed: int = 42,
+) -> list[Curve]:
+    """Worst op latency vs n with n−1 concurrent (staggered) updaters.
+
+    Per algorithm, two curves: the victim's SCAN (pull-based baselines
+    retry one collect round per interfering write → Θ(n·D) for [19]) and
+    the worst UPDATE in the wave (the [12]-style update embeds a
+    stable-collect, so the unluckiest writers wait out Θ(n) interference).
+    Randomized (seeded) delays desynchronize deliveries — under lockstep
+    constant delays the confirmation rounds align and the interference
+    vanishes, which understates the pull-based cost.
+    """
+    from repro.harness.workloads import random_workload  # noqa: F401 (doc link)
+    from repro.net.delays import UniformDelay
+    from repro.sim.rng import SeededRng
+
+    algos = algorithms or {
+        "Delporte [19]": DelporteAso,
+        "Store-collect [12]": StoreCollectAso,
+        "EQ-ASO": EqAso,
+    }
+    curves = []
+    for label, factory in algos.items():
+        scan_ys: list[float] = []
+        upd_ys: list[float] = []
+        xs: list[float] = []
+        for n in ns:
+            f = (n - 1) // 2
+            rng = SeededRng(seed)
+            cluster = Cluster(
+                factory,
+                n=n,
+                f=f,
+                delay_model=UniformDelay(1.0, rng.child("delays"), lo=0.25),
+            )
+            wave: list = []
+            for node, ops, start in interference_schedule(
+                n, 0, updates_per_writer=updates_per_writer
+            ):
+                wave.extend(cluster.chain_ops(node, ops, start=start))
+            # invoke mid-wave: the first stores/writes have landed
+            op = cluster.invoke_at(2.5, 0, "scan")
+            cluster.run_until_complete(wave + [op])
+            xs.append(n)
+            scan_ys.append(op.latency / cluster.D)
+            upd_ys.append(
+                max(h.latency / cluster.D for h in wave if h.done)
+            )
+        curves.append(Curve(f"{label} victim scan", xs, scan_ys).fit())
+        curves.append(Curve(f"{label} worst update", xs, upd_ys).fit())
+    return curves
+
+
+def _la_match_factory(factory):
+    """Per-writer doomed-proposal matchers for the two LA protocols."""
+    from repro.baselines.la_based import MClsWrite
+
+    if factory is ClassifierLA:
+        return lambda w: lambda p: isinstance(p, MClsWrite) and any(
+            a[0] == w for a in p.atoms
+        )
+    return lambda w: lambda p: isinstance(p, MLAValue) and p.element.proposer == w
+
+
+def la_comparison(
+    ks: Sequence[int] = (0, 1, 3, 6, 10), n_fixed: int | None = None
+) -> list[Curve]:
+    """One-shot LA decision latency vs k: early-stopping vs classifier.
+
+    The chain adversary exposes doomed *proposals* to the victim proposer,
+    mirroring the snapshot staircase: the early-stopping LA's EQ wait is
+    delayed ``≈ √(2k)·D`` (but is constant when ``k = 0``), while the
+    classifier pays its ``Θ(log n)`` quorum rounds regardless of ``k``
+    (chains merely remove nodes from its quorums).
+    """
+    from repro.harness.adversary import _doomed_payload_predicate
+    from repro.net.delays import AdversarialDelay
+
+    curves = []
+    for label, factory in (
+        ("early-stopping LA [this paper]", EarlyStoppingLA),
+        ("classifier LA [42]", ClassifierLA),
+    ):
+        xs: list[float] = []
+        ys: list[float] = []
+        for k in ks:
+            if k == 0:
+                n = n_fixed or 23
+                f = (n - 1) // 2
+                cluster = Cluster(
+                    factory,
+                    n=n,
+                    f=f,
+                    delay_model=AdversarialDelay(
+                        1.0, lambda src, dst, p, now: 0.05
+                    ),
+                )
+                victim = 0
+                writers: tuple[int, ...] = ()
+            else:
+                scenario = chain_staircase(
+                    k, match_for_writer=_la_match_factory(factory)
+                )
+                victim = scenario.victim
+                writers = scenario.writers
+                wset = frozenset(writers)
+
+                def delays(src, dst, payload, now, _w=wset, _fac=factory):
+                    if isinstance(payload, MLAValue) and payload.element.proposer in _w:
+                        return 1.0
+                    return 0.05
+
+                cluster = Cluster(
+                    factory,
+                    n=scenario.n,
+                    f=scenario.f,
+                    delay_model=AdversarialDelay(1.0, delays),
+                    crash_plan=scenario.crash_plan,
+                )
+            for writer in writers:
+                cluster.invoke_at(0.0, writer, "propose", (f"doomed{writer}",))
+            # invoke the victim just after the first exposure lands (the
+            # one-hop chain's proposal arrives at t = D)
+            op = cluster.invoke_at(1.05, victim, "propose", (f"p{victim}",))
+            cluster.run_until_complete([op])
+            xs.append(max(k, 1))
+            ys.append(op.latency / cluster.D)
+        curves.append(Curve(label, xs, ys).fit())
+    return curves
+
+
+__all__ = [
+    "Curve",
+    "scale_k",
+    "amortized_curve",
+    "failure_free",
+    "interference_scan",
+    "la_comparison",
+]

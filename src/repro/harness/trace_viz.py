@@ -1,0 +1,99 @@
+"""Text space-time diagrams for small executions.
+
+Renders a recorded network trace (``Cluster(..., record_net_trace=True)``)
+as the classic distributed-systems space-time diagram: one column per
+node, time flowing downward, message kinds abbreviated — the tool used to
+eyeball the Figure 2 choreography and to debug adversarial schedules.
+
+Example output (one row per delivery)::
+
+    t=0.05  [2]--value:v/1-->[0]
+    t=0.05  [2]--value:v/1-->[1]
+    ...
+
+plus a per-node operation lane showing invocations and responses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.runtime.cluster import Cluster
+
+
+def _describe(payload: Any) -> str:
+    """Short human label for a wire message."""
+    from repro.core import messages as m
+
+    match payload:
+        case m.MValue(vt):
+            return f"value:{vt.value}/{vt.ts.tag}"
+        case m.MWriteTag(tag, _):
+            return f"writeTag:{tag}"
+        case m.MWriteAck(tag, _):
+            return f"writeAck:{tag}"
+        case m.MEchoTag(tag):
+            return f"echoTag:{tag}"
+        case m.MReadTag(_):
+            return "readTag"
+        case m.MReadAck(tag, _):
+            return f"readAck:{tag}"
+        case m.MGoodLA(tag):
+            return f"goodLA:{tag}"
+        case _:
+            name = type(payload).__name__
+            return name[1:] if name.startswith("M") else name
+
+
+def render_trace(
+    cluster: Cluster,
+    *,
+    until: float | None = None,
+    include: Iterable[str] | None = None,
+    max_lines: int = 200,
+) -> str:
+    """Render the recorded deliveries (and drops) as text.
+
+    Args:
+        cluster: must have been created with ``record_net_trace=True``.
+        until: only deliveries at or before this time.
+        include: optional substrings; only messages whose description
+            contains one of them are shown (e.g. ``["value", "goodLA"]``).
+        max_lines: truncate long traces (a note is appended).
+    """
+    if not cluster.network._record_trace:
+        raise ValueError("cluster was not created with record_net_trace=True")
+    lines: list[str] = []
+    shown = 0
+    for rec in cluster.network.trace:
+        if until is not None and rec.delivered_at > until:
+            continue
+        desc = _describe(rec.payload)
+        if include is not None and not any(s in desc for s in include):
+            continue
+        if shown >= max_lines:
+            lines.append(f"... ({len(cluster.network.trace) - shown} more)")
+            break
+        arrow = "--X" if rec.dropped else "-->"
+        lines.append(
+            f"t={rec.delivered_at:7.3f}  [{rec.src}]--{desc}{arrow}[{rec.dst}]"
+        )
+        shown += 1
+    return "\n".join(lines)
+
+
+def render_operations(cluster: Cluster) -> str:
+    """Render the recorded history's operation lanes."""
+    lines: list[str] = []
+    for op in cluster.history.ops:
+        resp = "pending" if op.t_resp is None else f"{op.t_resp:7.3f}"
+        out = ""
+        if op.is_scan and op.complete:
+            out = " -> " + repr(tuple(op.snapshot().values))
+        lines.append(
+            f"node {op.node}  {op.kind:7s} [{op.t_inv:7.3f}, {resp}]{out}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["render_trace", "render_operations"]

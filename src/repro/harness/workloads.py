@@ -1,0 +1,77 @@
+"""Workload generators.
+
+Shared between the integration tests (randomized histories fed to the
+Theorem 1 checkers) and the benchmark harness (latency measurements).
+All randomness flows through :class:`repro.sim.rng.SeededRng`, so every
+workload is replayable from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.runtime.cluster import Cluster, OpHandle
+from repro.sim.rng import SeededRng
+
+
+def random_workload(
+    cluster: Cluster,
+    rng: SeededRng,
+    *,
+    nodes: Sequence[int] | None = None,
+    ops_per_node: int = 4,
+    scan_prob: float = 0.5,
+    start_spread: float = 2.0,
+    gap_spread: float = 1.5,
+) -> list[OpHandle]:
+    """Random mixed update/scan chains on every (or the given) node.
+
+    Each node runs ``ops_per_node`` operations back-to-back with random
+    think-time gaps; each op is a scan with probability ``scan_prob`` and
+    an update of a unique value otherwise.
+    """
+    targets = list(range(cluster.n)) if nodes is None else list(nodes)
+    handles: list[OpHandle] = []
+    for node in targets:
+        ops: list[tuple[str, tuple[Any, ...]]] = []
+        for i in range(ops_per_node):
+            if rng.random() < scan_prob:
+                ops.append(("scan", ()))
+            else:
+                ops.append(("update", (f"v{node}.{i}",)))
+        handles.extend(
+            cluster.chain_ops(
+                node,
+                ops,
+                start=rng.uniform(0.0, start_spread),
+                gap=rng.uniform(0.0, gap_spread),
+            )
+        )
+    return handles
+
+
+def sequential_ops(
+    cluster: Cluster,
+    node: int,
+    *,
+    updates: int = 0,
+    scans: int = 0,
+    alternate: bool = True,
+    start: float = 0.0,
+    gap: float = 0.0,
+) -> list[OpHandle]:
+    """A chain of updates/scans at one node (alternating or grouped)."""
+    ops: list[tuple[str, tuple[Any, ...]]] = []
+    if alternate:
+        for i in range(max(updates, scans)):
+            if i < updates:
+                ops.append(("update", (f"s{node}.{i}",)))
+            if i < scans:
+                ops.append(("scan", ()))
+    else:
+        ops.extend(("update", (f"s{node}.{i}",)) for i in range(updates))
+        ops.extend(("scan", ()) for _ in range(scans))
+    return cluster.chain_ops(node, ops, start=start, gap=gap)
+
+
+__all__ = ["random_workload", "sequential_ops"]

@@ -1,0 +1,185 @@
+"""Byzantine node behaviours, as pluggable strategies.
+
+A Byzantine node in an experiment is a :class:`ByzantineShell` — a protocol
+node whose entire logic is delegated to a :class:`ByzantineBehavior`.
+Behaviours are reactive (they act when messages arrive) plus a one-shot
+``on_start`` hook; the sans-io protocol layer has no timers, which matches
+the asynchronous model (a Byzantine node cannot do more than send arbitrary
+messages at moments of its choosing, and the delay adversary already
+controls "when").
+
+The library ships the attack repertoire the Byzantine ASO must survive:
+
+- :class:`Silent` — sends nothing (crash-equivalent; tests resilience
+  arithmetic);
+- :class:`Equivocator` — sends conflicting RBC ``INIT``s for the same
+  message id to different halves of the cluster (defeated by Bracha);
+- :class:`TagFlooder` — injects inflated ``writeTag``/``echoTag`` messages
+  to force extra lattice renewals (the :math:`O(k \\cdot D)` degradation);
+- :class:`FakeGoodLA` — advertises good lattice operations it never
+  performed, with bogus view contents (defeated by the ``f+1``-matching
+  borrow rule);
+- :class:`AckForger` — acks everything instantly and reports wildly stale
+  or inflated tags in ``readAck``s.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.runtime.protocol import ProtocolNode
+
+
+class ByzantineBehavior(ABC):
+    """Strategy interface for Byzantine shells."""
+
+    def on_start(self, shell: "ByzantineShell") -> None:
+        """Called once at cluster start."""
+
+    @abstractmethod
+    def on_message(self, shell: "ByzantineShell", src: int, msg: Any) -> None:
+        """React to an incoming message (may send anything)."""
+
+
+class ByzantineShell(ProtocolNode):
+    """A node fully controlled by a :class:`ByzantineBehavior`.
+
+    It exposes no client operations; experiments drive only honest nodes.
+    """
+
+    def __init__(
+        self, node_id: int, n: int, f: int, behavior: ByzantineBehavior
+    ) -> None:
+        super().__init__(node_id, n, f)
+        self.behavior = behavior
+
+    def on_start(self) -> None:
+        self.behavior.on_start(self)
+
+    def on_message(self, src: int, msg: Any) -> None:
+        self.behavior.on_message(self, src, msg)
+
+    def send_to_each(self, payloads: dict[int, Any]) -> None:
+        """Equivocation helper: a different payload per destination."""
+        for dst, payload in payloads.items():
+            self.send(dst, payload)
+
+
+class Silent(ByzantineBehavior):
+    """Receives everything, says nothing (indistinguishable from a crash)."""
+
+    def on_message(self, shell: ByzantineShell, src: int, msg: Any) -> None:
+        pass
+
+
+class Equivocator(ByzantineBehavior):
+    """Sends conflicting RBC INITs for one message id at start, then goes
+    silent.  ``make_payloads(shell)`` returns the two conflicting payloads.
+    """
+
+    def __init__(self, make_payloads) -> None:
+        self._make_payloads = make_payloads
+
+    def on_start(self, shell: ByzantineShell) -> None:
+        from repro.net.rbc import RInit
+
+        payload_a, payload_b = self._make_payloads(shell)
+        mid = (shell.node_id, 0)
+        half = shell.n // 2
+        for dst in range(shell.n):
+            payload = payload_a if dst < half else payload_b
+            shell.send(dst, RInit(mid, payload))
+
+    def on_message(self, shell: ByzantineShell, src: int, msg: Any) -> None:
+        pass
+
+
+class TagFlooder(ByzantineBehavior):
+    """Injects inflated tags in reaction to ``writeTag`` traffic, up to
+    ``budget`` times (finite interference — the paper's ``k`` counts
+    faulty nodes whose damage is bounded; an infinite flooder models an
+    adversary outside the complexity statement).  Firing moments are
+    staggered by the shell's node id so a coalition of ``k`` flooders
+    produces ``k`` *separate* tag jumps — each forcing honest operations
+    into one more lattice renewal — rather than one overlapping burst."""
+
+    def __init__(self, inflation: int = 3, budget: int = 3) -> None:
+        self.inflation = inflation
+        self.budget = budget
+        self._seen = 0
+        self._next_fire = 1
+
+    def on_message(self, shell: ByzantineShell, src: int, msg: Any) -> None:
+        from repro.core.messages import MEchoTag, MWriteTag
+
+        if not isinstance(msg, MWriteTag):
+            return
+        self._seen += 1
+        if self.budget > 0 and self._seen >= self._next_fire:
+            self.budget -= 1
+            self._next_fire = self._seen + 3 + 2 * (shell.node_id % 5)
+            shell.broadcast(MEchoTag(msg.tag + self.inflation), include_self=False)
+
+
+class FakeGoodLA(ByzantineBehavior):
+    """Advertises a fabricated good lattice operation whenever it sees a
+    genuine ``goodLA``, claiming an arbitrary (bogus) view."""
+
+    def __init__(self, fake_ids=frozenset()) -> None:
+        self.fake_ids = fake_ids
+
+    def on_message(self, shell: ByzantineShell, src: int, msg: Any) -> None:
+        from repro.core.byz_messages import MByzGoodLA
+
+        if isinstance(msg, MByzGoodLA):
+            shell.broadcast(
+                MByzGoodLA(msg.tag, frozenset(self.fake_ids)), include_self=False
+            )
+
+
+class AckForger(ByzantineBehavior):
+    """Answers ``readTag`` with an inflated tag and acks every
+    ``writeTag`` immediately (tries to skew tag reads)."""
+
+    def __init__(self, inflation: int = 7) -> None:
+        self.inflation = inflation
+
+    def on_message(self, shell: ByzantineShell, src: int, msg: Any) -> None:
+        from repro.core.messages import MReadAck, MReadTag, MWriteAck, MWriteTag
+
+        if isinstance(msg, MReadTag):
+            shell.send(src, MReadAck(self.inflation, msg.reqid))
+        elif isinstance(msg, MWriteTag):
+            shell.send(src, MWriteAck(msg.tag, msg.reqid))
+
+
+def byzantine_factory(base_factory, byzantine: dict[int, ByzantineBehavior]):
+    """Wrap an honest-node factory so that the nodes in ``byzantine`` are
+    replaced by shells running the given behaviours.
+
+    Usage::
+
+        factory = byzantine_factory(ByzantineAso, {0: TagFlooder()})
+        cluster = Cluster(factory, n=7, f=2)
+    """
+
+    def factory(node_id: int, n: int, f: int) -> ProtocolNode:
+        behavior = byzantine.get(node_id)
+        if behavior is not None:
+            return ByzantineShell(node_id, n, f, behavior)
+        return base_factory(node_id, n, f)
+
+    return factory
+
+
+__all__ = [
+    "ByzantineBehavior",
+    "ByzantineShell",
+    "Silent",
+    "Equivocator",
+    "TagFlooder",
+    "FakeGoodLA",
+    "AckForger",
+    "byzantine_factory",
+]

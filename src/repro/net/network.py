@@ -1,0 +1,132 @@
+"""Reliable FIFO point-to-point network over the DES kernel.
+
+Implements the channel contract of Sec. II-A:
+
+- **reliable**: once :meth:`Network.send` returns, delivery to a live
+  destination is guaranteed, even if the sender crashes afterwards;
+- **FIFO**: per ordered pair, deliveries occur in send order.  The network
+  clamps each delivery time to be no earlier than the previous delivery on
+  the same channel; since the earlier message already obeyed ``delay <= D``,
+  the clamp preserves the bound (``deliver_1 <= send_1 + D <= send_2 + D``);
+- **bounded delay**: the delay model guarantees ``delay <= D``.
+
+Crashed nodes neither send nor receive: sends by a crashed node are
+rejected upstream (the cluster silences it) and deliveries to a node that
+crashed in the meantime are dropped at delivery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.net.delays import DelayModel
+from repro.net.faults import CrashPlan
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryRecord:
+    """One delivered (or dropped) message, for traces and message counts."""
+
+    src: int
+    dst: int
+    payload: Any
+    sent_at: float
+    delivered_at: float
+    dropped: bool
+
+
+class Network:
+    """The message fabric connecting a cluster of nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        delay_model: DelayModel,
+        crash_plan: CrashPlan,
+        deliver: Callable[[int, int, Any], None],
+        *,
+        record_trace: bool = False,
+    ) -> None:
+        """
+        Args:
+            sim: the simulation kernel.
+            n: number of nodes (ids ``0..n-1``).
+            delay_model: assigns per-message delays in ``[0, D]``.
+            crash_plan: the crash adversary; consulted for mid-broadcast
+                truncation and for dropping deliveries to dead nodes.
+            deliver: callback ``(dst, src, payload)`` invoked at delivery
+                time (the cluster routes it into the node's handler).
+            record_trace: keep a full :class:`DeliveryRecord` list
+                (memory-heavy; off by default, on in figure regenerators).
+        """
+        self.sim = sim
+        self.n = n
+        self.delay_model = delay_model
+        self.crash_plan = crash_plan
+        self._deliver = deliver
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.sent_by_node: list[int] = [0] * n
+        self.trace: list[DeliveryRecord] = []
+        self._record_trace = record_trace
+
+    @property
+    def D(self) -> float:
+        """The maximum message delay (observer-only knowledge)."""
+        return self.delay_model.D
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Hand one message to the network (reliable from this point on)."""
+        if not (0 <= src < self.n and 0 <= dst < self.n):
+            raise ValueError(f"bad endpoints {src}->{dst} for n={self.n}")
+        now = self.sim.now
+        delay = self.delay_model.delay_for(src, dst, payload, now)
+        deliver_at = now + delay
+        pair = (src, dst)
+        prev = self._last_delivery.get(pair, 0.0)
+        if deliver_at < prev:
+            deliver_at = prev  # FIFO clamp; see module docstring
+        self._last_delivery[pair] = deliver_at
+        self.messages_sent += 1
+        self.sent_by_node[src] += 1
+        self.sim.schedule_at(
+            deliver_at,
+            lambda: self._arrive(src, dst, payload, now),
+            tag=f"deliver:{src}->{dst}",
+        )
+
+    def broadcast(self, src: int, payload: Any, dests: Sequence[int]) -> None:
+        """Send ``payload`` to each destination, applying mid-broadcast
+        crash truncation (Definition 11) if the crash plan says so.
+
+        A :class:`~repro.net.faults.BroadcastCrash` leaves only the
+        adversary-chosen destinations in the send loop; the caller (the
+        cluster) is then told to crash the node via the plan state.
+        """
+        allowed, crash_now = self.crash_plan.filter_broadcast(src, payload, dests)
+        for dst in allowed:
+            self.send(src, dst, payload)
+        if crash_now:
+            self.crash_plan.mark_crashed(src)
+
+    # ------------------------------------------------------------------
+    def _arrive(self, src: int, dst: int, payload: Any, sent_at: float) -> None:
+        dropped = self.crash_plan.is_crashed(dst)
+        if self._record_trace:
+            self.trace.append(
+                DeliveryRecord(src, dst, payload, sent_at, self.sim.now, dropped)
+            )
+        if dropped:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self._deliver(dst, src, payload)
+
+
+__all__ = ["Network", "DeliveryRecord"]

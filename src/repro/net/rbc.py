@@ -1,0 +1,125 @@
+"""Bracha reliable broadcast [18] — the Byzantine dissemination substrate.
+
+Classic three-phase protocol for ``n > 3f``:
+
+- the sender broadcasts ``INIT(m)``;
+- on the first ``INIT`` from a sender for a message id, broadcast
+  ``ECHO(m)``;
+- on ``⌈(n+f+1)/2⌉`` matching ``ECHO``s or ``f+1`` matching ``READY``s,
+  broadcast ``READY(m)`` (once);
+- on ``2f+1`` matching ``READY``s, deliver ``m`` (once).
+
+Guarantees (for ``n > 3f``): *validity* (an honest sender's message is
+delivered by every honest node), *agreement* (if any honest node delivers
+``(origin, mid, m)``, every honest node eventually delivers the same
+``m``) and *integrity* (at most one delivery per ``(origin, mid)``) —
+i.e. a Byzantine origin cannot equivocate.
+
+Implemented sans-io as a component embedded in a
+:class:`~repro.runtime.protocol.ProtocolNode`: the host forwards RBC
+messages to :meth:`BrachaRBC.handle` and receives deliveries through a
+callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+MessageId = tuple[int, Hashable]  # (origin node, origin-scoped id)
+
+
+@dataclass(frozen=True, slots=True)
+class RInit:
+    mid: MessageId
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class REcho:
+    mid: MessageId
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class RReady:
+    mid: MessageId
+    payload: Any
+
+
+class BrachaRBC:
+    """One RBC endpoint (embed one per protocol node).
+
+    Args:
+        node: the host protocol node (provides ``broadcast``/``n``/``f``).
+        deliver: callback ``(origin, payload)`` invoked exactly once per
+            message id, on delivery.
+    """
+
+    def __init__(self, node, deliver: Callable[[int, Any], None]) -> None:
+        self._node = node
+        self._deliver = deliver
+        n, f = node.n, node.f
+        if n <= 3 * f:
+            raise ValueError(f"Bracha RBC requires n > 3f (n={n}, f={f})")
+        self.echo_threshold = (n + f) // 2 + 1
+        self.ready_threshold = f + 1
+        self.deliver_threshold = 2 * f + 1
+        self._next_id = 0
+        self._echoed: set[MessageId] = set()
+        self._readied: set[MessageId] = set()
+        self._delivered: set[MessageId] = set()
+        # votes[(mid, payload)] -> sets of distinct voters
+        self._echo_votes: dict[tuple[MessageId, Any], set[int]] = {}
+        self._ready_votes: dict[tuple[MessageId, Any], set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def rbc_broadcast(self, payload: Any, *, mid: MessageId | None = None) -> MessageId:
+        """Reliably broadcast ``payload`` from the host node."""
+        if mid is None:
+            mid = (self._node.node_id, self._next_id)
+            self._next_id += 1
+        self._node.broadcast(RInit(mid, payload))
+        return mid
+
+    def handle(self, src: int, msg: Any) -> bool:
+        """Process an incoming message if it belongs to the RBC layer.
+
+        Returns True iff the message was consumed.
+        """
+        match msg:
+            case RInit(mid, payload):
+                # only the origin may initiate its own message id
+                if mid[0] == src and mid not in self._echoed:
+                    self._echoed.add(mid)
+                    self._node.broadcast(REcho(mid, payload))
+                return True
+            case REcho(mid, payload):
+                votes = self._echo_votes.setdefault((mid, payload), set())
+                votes.add(src)
+                if len(votes) >= self.echo_threshold:
+                    self._send_ready(mid, payload)
+                return True
+            case RReady(mid, payload):
+                votes = self._ready_votes.setdefault((mid, payload), set())
+                votes.add(src)
+                if len(votes) >= self.ready_threshold:
+                    self._send_ready(mid, payload)
+                if len(votes) >= self.deliver_threshold and mid not in self._delivered:
+                    self._delivered.add(mid)
+                    self._deliver(mid[0], payload)
+                return True
+            case _:
+                return False
+
+    def _send_ready(self, mid: MessageId, payload: Any) -> None:
+        if mid not in self._readied:
+            self._readied.add(mid)
+            self._node.broadcast(RReady(mid, payload))
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self._delivered)
+
+
+__all__ = ["BrachaRBC", "RInit", "REcho", "RReady", "MessageId"]

@@ -1,0 +1,31 @@
+"""Runtimes that drive sans-io protocol nodes.
+
+Protocol classes (:mod:`repro.core`, :mod:`repro.baselines`) are pure state
+machines: message handlers mutate local state and queue outgoing messages;
+client operations are generators that ``yield WaitUntil(predicate)``.
+Two drivers execute them:
+
+- :class:`repro.runtime.cluster.Cluster` — the deterministic discrete-event
+  driver (all experiments and fault injection);
+- :class:`repro.runtime.aio.AioCluster` — an asyncio driver over in-process
+  queues (examples; demonstrates the protocols are not simulator-bound).
+
+The drivers guarantee the paper's atomicity discipline (Sec. III-D): a
+message handler runs to completion, and a client generator parked on a
+``WaitUntil`` is resumed synchronously right after the handler that made
+its predicate true — before any further delivery.  This realises the
+paper's NOTE that the ``goodLA`` handler (line 49) executes before a
+pending ``LatticeRenewal`` resumes at line 29.
+"""
+
+from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
+from repro.runtime.cluster import Cluster, OpHandle, StuckError
+
+__all__ = [
+    "OpGen",
+    "ProtocolNode",
+    "WaitUntil",
+    "Cluster",
+    "OpHandle",
+    "StuckError",
+]

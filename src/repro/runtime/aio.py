@@ -1,0 +1,212 @@
+"""Asyncio runtime: the same sans-io protocols over real concurrency.
+
+Demonstrates that the algorithm objects are not simulator-bound: the
+identical :class:`~repro.runtime.protocol.ProtocolNode` instances run over
+in-process asyncio queues with real (wall-clock) delays.  Used by the
+examples and a smoke-test tier; the fault-injection *benchmarks* stay on
+the discrete-event runtime (deterministic, exact-D measurement — and much
+faster, per the reproduction notes).
+
+Semantics preserved from the paper / the DES driver:
+
+- **handler atomicity**: each node owns an ``asyncio.Lock``; a message
+  handler runs under it, so no other handler or client step interleaves;
+- **synchronous borrow recording**: after a handler completes, waiting
+  client operations are re-evaluated under the same lock before the next
+  delivery is accepted (the NOTE at Algorithm 1 line 49);
+- **reliable FIFO channels**: one forwarder task per ordered pair drains
+  a per-channel queue in order, sleeping the sampled delay before
+  delivery; once a message is enqueued it will be delivered even if the
+  sender crashes afterwards;
+- **crash**: a crashed node stops sending and receiving; a crash can
+  truncate an in-flight broadcast (Definition 11) via
+  :class:`~repro.net.faults.BroadcastCrash` specs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.net.faults import CrashPlan
+from repro.runtime.protocol import ProtocolNode, WaitUntil, _Broadcast, _Send
+from repro.sim.rng import SeededRng
+from repro.spec.history import History
+
+
+class AioCluster:
+    """Asyncio driver for a cluster of sans-io protocol nodes.
+
+    Args:
+        factory: ``factory(node_id, n, f) -> ProtocolNode``.
+        n, f: system size and fault threshold.
+        mean_delay: mean per-message delay in seconds (uniform in
+            ``[0.2·mean, 1.8·mean]``; keep small — these are real sleeps).
+        seed: delay-randomness seed.
+        crash_plan: optional crash adversary (timed crashes are scheduled
+            on the loop; broadcast crashes fire on matching sends).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int, int, int], ProtocolNode],
+        n: int,
+        f: int,
+        *,
+        mean_delay: float = 0.002,
+        seed: int = 0,
+        crash_plan: CrashPlan | None = None,
+    ) -> None:
+        self.n = n
+        self.f = f
+        self.nodes = [factory(i, n, f) for i in range(n)]
+        self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
+        self.history = History(n)
+        self._rng = SeededRng(seed)
+        self._mean = mean_delay
+        self._locks = [asyncio.Lock() for _ in range(n)]
+        self._wakeups = [asyncio.Event() for _ in range(n)]
+        self._channels: dict[tuple[int, int], asyncio.Queue] = {}
+        self._forwarders: list[asyncio.Task] = []
+        self._started = False
+        self._loop_time0 = 0.0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn channel forwarders and run ``on_start`` hooks."""
+        if self._started:
+            return
+        self._started = True
+        self._loop_time0 = asyncio.get_running_loop().time()
+        for src in range(self.n):
+            for dst in range(self.n):
+                queue: asyncio.Queue = asyncio.Queue()
+                self._channels[(src, dst)] = queue
+                self._forwarders.append(
+                    asyncio.create_task(self._forward(src, dst, queue))
+                )
+        for node_id, when in self.crash_plan.timed_crashes():
+            asyncio.get_running_loop().call_later(
+                when, lambda nid=node_id: self.crash(nid)
+            )
+        for node in self.nodes:
+            if not self.crash_plan.is_crashed(node.node_id):
+                async with self._locks[node.node_id]:
+                    node.on_start()
+                    self._flush(node.node_id)
+
+    async def shutdown(self) -> None:
+        """Cancel all channel forwarders."""
+        for task in self._forwarders:
+            task.cancel()
+        await asyncio.gather(*self._forwarders, return_exceptions=True)
+        self._forwarders.clear()
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time() - self._loop_time0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _flush(self, node_id: int) -> None:
+        """Drain a node's outbox into the channels (caller holds its lock)."""
+        node = self.nodes[node_id]
+        while node.outbox:
+            if self.crash_plan.is_crashed(node_id):
+                node.outbox.clear()
+                return
+            item = node.outbox.pop(0)
+            if isinstance(item, _Send):
+                self._channels[(node_id, item.dst)].put_nowait(item.payload)
+            elif isinstance(item, _Broadcast):
+                allowed, crash_now = self.crash_plan.filter_broadcast(
+                    node_id, item.payload, item.dests
+                )
+                for dst in allowed:
+                    self._channels[(node_id, dst)].put_nowait(item.payload)
+                if crash_now:
+                    self.crash_plan.mark_crashed(node_id)
+                    self._wakeups[node_id].set()  # release a parked op
+
+    async def _forward(self, src: int, dst: int, queue: asyncio.Queue) -> None:
+        """One FIFO channel: sequential delay-then-deliver."""
+        while True:
+            payload = await queue.get()
+            if src != dst:
+                delay = self._rng.uniform(0.2 * self._mean, 1.8 * self._mean)
+                await asyncio.sleep(delay)
+            if self.crash_plan.is_crashed(dst):
+                continue
+            async with self._locks[dst]:
+                if self.crash_plan.is_crashed(dst):
+                    continue
+                self.nodes[dst].on_message(src, payload)
+                self._flush(dst)
+            self._wakeups[dst].set()
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node immediately."""
+        self.crash_plan.mark_crashed(node_id)
+        self._wakeups[node_id].set()  # unblock any waiting operation
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    async def call(self, node_id: int, opname: str, *args: Any) -> Any:
+        """Run one client operation to completion; returns its result.
+
+        Raises:
+            RuntimeError: the node crashed mid-operation.
+        """
+        await self.start()
+        node = self.nodes[node_id]
+        if self.crash_plan.is_crashed(node_id):
+            raise RuntimeError(f"node {node_id} is crashed")
+        async with self._locks[node_id]:
+            record = self.history.invoke(node_id, opname, args, self._now())
+            gen = getattr(node, opname)(*args)
+        try:
+            result = await self._drive(node_id, gen)
+        except _Crashed:
+            self.history.abort(record)
+            raise RuntimeError(f"node {node_id} crashed during {opname}") from None
+        async with self._locks[node_id]:
+            self.history.respond(record, self._now(), result)
+        return result
+
+    async def _drive(self, node_id: int, gen) -> Any:
+        wakeup = self._wakeups[node_id]
+        while True:
+            async with self._locks[node_id]:
+                try:
+                    yielded = gen.send(None)
+                except StopIteration as stop:
+                    self._flush(node_id)
+                    if self.crash_plan.is_crashed(node_id):
+                        raise _Crashed()
+                    return stop.value
+                if not isinstance(yielded, WaitUntil):
+                    raise TypeError(f"unexpected yield {yielded!r}")
+                self._flush(node_id)
+                if self.crash_plan.is_crashed(node_id):
+                    raise _Crashed()
+                wakeup.clear()
+                satisfied = yielded.predicate()
+            if satisfied:
+                continue
+            while True:
+                await wakeup.wait()
+                if self.crash_plan.is_crashed(node_id):
+                    raise _Crashed()
+                async with self._locks[node_id]:
+                    wakeup.clear()
+                    if yielded.predicate():
+                        break
+            # predicate satisfied; loop to advance the generator
+
+
+class _Crashed(Exception):
+    """Internal: the node died while its operation was parked."""
+
+
+__all__ = ["AioCluster"]

@@ -1,0 +1,396 @@
+"""The discrete-event cluster driver.
+
+Wires together the kernel, the network, a crash plan and ``n`` protocol
+nodes; invokes client operations; records the execution history; and
+enforces the paper's execution discipline:
+
+- message handlers run atomically;
+- a parked client generator is resumed synchronously after the handler
+  that satisfied its predicate (before any further delivery);
+- at most one client operation is pending per node (sequential nodes);
+- a node crashed by the plan stops sending, receiving and executing; a
+  :class:`~repro.net.faults.BroadcastCrash` truncates the in-flight
+  broadcast to the adversary-chosen destinations (Definition 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.net.delays import ConstantDelay, DelayModel
+from repro.net.faults import CrashPlan
+from repro.net.network import Network
+from repro.runtime.protocol import ProtocolNode, WaitUntil, _Broadcast, _Send
+from repro.sim.kernel import Simulator
+from repro.spec.history import History, OpRecord
+
+
+class StuckError(RuntimeError):
+    """The simulation drained its event queue with operations still
+    pending — a liveness failure.  The message lists each stuck operation
+    and the ``WaitUntil`` description it is parked on (this is the primary
+    diagnostic output of the ablation experiments)."""
+
+
+@dataclass
+class OpHandle:
+    """Handle to one invoked client operation."""
+
+    node: int
+    kind: str
+    args: tuple[Any, ...]
+    record: OpRecord | None = None
+    result: Any = None
+    done: bool = False
+    aborted: bool = False
+    sent_at_inv: int = 0
+    sent_at_resp: int = 0
+    callbacks: list[Callable[["OpHandle"], None]] = field(default_factory=list)
+
+    @property
+    def t_inv(self) -> float:
+        assert self.record is not None, "operation not yet invoked"
+        return self.record.t_inv
+
+    @property
+    def t_resp(self) -> float:
+        assert self.record is not None and self.record.t_resp is not None
+        return self.record.t_resp
+
+    @property
+    def latency(self) -> float:
+        return self.t_resp - self.t_inv
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages this node handed to the network during the operation
+        (includes forwarding duties that happened to run concurrently —
+        use quiet-network workloads for exact per-op message costs)."""
+        return self.sent_at_resp - self.sent_at_inv
+
+    def on_complete(self, fn: Callable[["OpHandle"], None]) -> None:
+        self.callbacks.append(fn)
+
+
+class _OpRunner:
+    """Drives one client-operation generator to completion."""
+
+    __slots__ = ("cluster", "node_id", "gen", "handle", "wait")
+
+    def __init__(self, cluster: "Cluster", node_id: int, gen, handle: OpHandle):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.gen = gen
+        self.handle = handle
+        self.wait: WaitUntil | None = None
+
+    def advance(self) -> None:
+        cluster = self.cluster
+        self.wait = None
+        while True:
+            try:
+                yielded = self.gen.send(None)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+            if not isinstance(yielded, WaitUntil):
+                raise TypeError(
+                    f"operation generator yielded {yielded!r}; expected WaitUntil"
+                )
+            cluster._flush(self.node_id)
+            if cluster.crash_plan.is_crashed(self.node_id):
+                cluster._abort_runner(self)
+                return
+            if yielded.predicate():
+                continue
+            self.wait = yielded
+            return
+
+    def _finish(self, result: Any) -> None:
+        cluster = self.cluster
+        cluster._flush(self.node_id)
+        if cluster.crash_plan.is_crashed(self.node_id):
+            cluster._abort_runner(self)
+            return
+        handle = self.handle
+        handle.result = result
+        handle.done = True
+        handle.sent_at_resp = cluster.network.sent_by_node[self.node_id]
+        if handle.record is not None:
+            cluster.history.respond(handle.record, cluster.sim.now, result)
+        cluster._runners[self.node_id] = None
+        for fn in handle.callbacks:
+            fn(handle)
+
+
+class Cluster:
+    """A simulated deployment of one snapshot-object algorithm.
+
+    Args:
+        factory: ``factory(node_id, n, f) -> ProtocolNode``; usually an
+            algorithm class such as :class:`repro.core.EqAso`.
+        n, f: system size and fault threshold (algorithms assert their own
+            resilience bound, e.g. ``n > 2f`` for EQ-ASO).
+        D: maximum message delay (used when ``delay_model`` is omitted;
+            the default model delivers every message in exactly ``D``).
+        delay_model: adversary-controlled delay assignment.
+        crash_plan: crash adversary (``CrashPlan.none()`` by default).
+        record_net_trace: keep per-delivery records (figure regenerators).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int, int, int], ProtocolNode],
+        n: int,
+        f: int,
+        *,
+        D: float = 1.0,
+        delay_model: DelayModel | None = None,
+        crash_plan: CrashPlan | None = None,
+        record_net_trace: bool = False,
+    ) -> None:
+        self.n = n
+        self.f = f
+        self.sim = Simulator()
+        self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
+        self.delay_model = delay_model or ConstantDelay(D)
+        self.network = Network(
+            self.sim,
+            n,
+            self.delay_model,
+            self.crash_plan,
+            self._deliver,
+            record_trace=record_net_trace,
+        )
+        self.history = History(n)
+        self.nodes: list[ProtocolNode] = [factory(i, n, f) for i in range(n)]
+        self._runners: list[_OpRunner | None] = [None] * n
+        self._started = False
+        for node_id, time in self.crash_plan.timed_crashes():
+            self.sim.schedule_at(time, lambda nid=node_id: self.crash(nid))
+
+    @property
+    def D(self) -> float:
+        return self.delay_model.D
+
+    def node(self, i: int) -> ProtocolNode:
+        return self.nodes[i]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run each node's ``on_start`` hook (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            if not self.crash_plan.is_crashed(node.node_id):
+                node.on_start()
+                self._flush(node.node_id)
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node now: it stops sending/receiving/executing."""
+        self.crash_plan.mark_crashed(node_id)
+        self.nodes[node_id].outbox.clear()
+        runner = self._runners[node_id]
+        if runner is not None:
+            self._abort_runner(runner)
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def invoke_at(
+        self,
+        time: float,
+        node: int,
+        opname: str,
+        *args: Any,
+        record: bool = True,
+    ) -> OpHandle:
+        """Schedule a client operation at absolute simulation time."""
+        handle = OpHandle(node=node, kind=opname, args=tuple(args))
+        self.sim.schedule_at(
+            time,
+            lambda: self._begin(handle, record),
+            tag=f"invoke:{opname}@{node}",
+        )
+        return handle
+
+    def invoke(
+        self, node: int, opname: str, *args: Any, record: bool = True
+    ) -> OpHandle:
+        """Schedule a client operation at the current simulation time."""
+        return self.invoke_at(self.sim.now, node, opname, *args, record=record)
+
+    def chain_ops(
+        self,
+        node: int,
+        ops: Sequence[tuple[str, tuple[Any, ...]]],
+        *,
+        start: float = 0.0,
+        gap: float = 0.0,
+        record: bool = True,
+    ) -> list[OpHandle]:
+        """Invoke a sequence of operations back-to-back at one node.
+
+        Each operation is invoked ``gap`` after the previous one completes
+        (nodes are sequential, Sec. II-A, so this is the only way to issue
+        several operations from one client).  If the node crashes
+        mid-chain, the remaining handles are marked aborted.
+        """
+        handles = [
+            OpHandle(node=node, kind=kind, args=tuple(args))
+            for (kind, args) in ops
+        ]
+
+        def launch(idx: int) -> None:
+            if idx >= len(handles):
+                return
+            handle = handles[idx]
+            handle.on_complete(lambda _h: self._after_link(handles, idx, gap, launch))
+            self._begin(handle, record)
+            if handle.aborted:
+                for rest in handles[idx + 1 :]:
+                    rest.aborted = True
+
+        if handles:
+            self.sim.schedule_at(
+                start, lambda: launch(0), tag=f"chain@{node}"
+            )
+        return handles
+
+    def _after_link(self, handles, idx, gap, launch) -> None:
+        if handles[idx].aborted:
+            for rest in handles[idx + 1 :]:
+                rest.aborted = True
+            return
+        self.sim.schedule(gap, lambda: launch(idx + 1))
+
+    def _begin(self, handle: OpHandle, record: bool) -> None:
+        self.start()
+        node_id = handle.node
+        if self.crash_plan.is_crashed(node_id):
+            handle.aborted = True
+            return
+        if self._runners[node_id] is not None:
+            raise RuntimeError(
+                f"node {node_id} invoked {handle.kind} while another "
+                "operation is pending (nodes are sequential, Sec. II-A)"
+            )
+        node = self.nodes[node_id]
+        method = getattr(node, handle.kind)
+        gen = method(*handle.args)
+        if record:
+            handle.record = self.history.invoke(
+                node_id, handle.kind, handle.args, self.sim.now
+            )
+        handle.sent_at_inv = self.network.sent_by_node[node_id]
+        runner = _OpRunner(self, node_id, gen, handle)
+        self._runners[node_id] = runner
+        runner.advance()
+
+    def _abort_runner(self, runner: _OpRunner) -> None:
+        runner.handle.aborted = True
+        if runner.handle.record is not None:
+            self.history.abort(runner.handle.record)
+        if self._runners[runner.node_id] is runner:
+            self._runners[runner.node_id] = None
+        for fn in runner.handle.callbacks:  # settled-callbacks fire on abort too
+            fn(runner.handle)
+
+    # ------------------------------------------------------------------
+    # transport plumbing
+    # ------------------------------------------------------------------
+    def _deliver(self, dst: int, src: int, payload: Any) -> None:
+        if self.crash_plan.is_crashed(dst):
+            return
+        self.nodes[dst].on_message(src, payload)
+        self._flush(dst)
+        self._maybe_resume(dst)
+
+    def _flush(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        while node.outbox:
+            if self.crash_plan.is_crashed(node_id):
+                # the node died mid-loop (BroadcastCrash): remaining queued
+                # sends never happened
+                node.outbox.clear()
+                break
+            item = node.outbox.pop(0)
+            if isinstance(item, _Send):
+                self.network.send(node_id, item.dst, item.payload)
+            elif isinstance(item, _Broadcast):
+                self.network.broadcast(node_id, item.payload, item.dests)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown outbox item {item!r}")
+        if self.crash_plan.is_crashed(node_id):
+            runner = self._runners[node_id]
+            if runner is not None:
+                self._abort_runner(runner)
+
+    def _maybe_resume(self, node_id: int) -> None:
+        runner = self._runners[node_id]
+        if runner is not None and runner.wait is not None:
+            if runner.wait.predicate():
+                runner.advance()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        self.start()
+        self.sim.run(until=until, stop_when=stop_when)
+
+    def run_until_complete(self, handles: Sequence[OpHandle]) -> None:
+        """Run until every handle completes or its node crashes.
+
+        Raises:
+            StuckError: the event queue drained with live operations still
+                parked — a liveness violation (used by ablation tests to
+                detect the deadlocks that removing T1/T2/phase-0 causes).
+        """
+
+        def settled() -> bool:
+            return all(h.done or h.aborted for h in handles)
+
+        self.run(stop_when=settled)
+        if not settled():
+            lines = []
+            for h in handles:
+                if h.done or h.aborted:
+                    continue
+                runner = self._runners[h.node]
+                waiting = (
+                    runner.wait.description
+                    if runner is not None and runner.wait is not None
+                    else "not started or not parked"
+                )
+                lines.append(
+                    f"  node {h.node} {h.kind}{h.args!r} stuck on: {waiting}"
+                )
+            raise StuckError(
+                "simulation drained with pending operations (liveness bug):\n"
+                + "\n".join(lines)
+            )
+
+    def run_ops(
+        self, schedule: Iterable[tuple[float, int, str, tuple[Any, ...]]]
+    ) -> list[OpHandle]:
+        """Convenience: invoke ``(time, node, opname, args)`` entries and
+        run until all complete (or their nodes crash)."""
+        handles = [
+            self.invoke_at(t, node, opname, *args)
+            for (t, node, opname, args) in schedule
+        ]
+        self.run_until_complete(handles)
+        return handles
+
+
+__all__ = ["Cluster", "OpHandle", "StuckError"]

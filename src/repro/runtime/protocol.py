@@ -1,0 +1,108 @@
+"""Sans-io protocol node base class.
+
+A :class:`ProtocolNode` models one node of Sec. II-A: a *server thread*
+(the :meth:`ProtocolNode.on_message` handler, executed atomically per
+message) and a *client thread* (operation generators that block on
+:class:`WaitUntil` conditions).  The node never touches a clock or a
+socket — it only appends to its outbox; a runtime drains the outbox into
+an actual transport.  This is what lets the identical algorithm code run
+under both the discrete-event simulator and asyncio.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+OpGen = Generator["WaitUntil", None, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class WaitUntil:
+    """Yielded by a client-operation generator to block until a local
+    predicate becomes true.
+
+    The runtime re-evaluates the predicate after every message handler at
+    this node and resumes the generator synchronously when it holds.  The
+    ``description`` surfaces in liveness diagnostics (``StuckError``),
+    which is how the ablation experiments report *where* a crippled
+    algorithm deadlocks.
+    """
+
+    predicate: Callable[[], bool]
+    description: str = ""
+
+
+@dataclass(slots=True)
+class _Send:
+    dst: int
+    payload: Any
+
+
+@dataclass(slots=True)
+class _Broadcast:
+    payload: Any
+    dests: tuple[int, ...]
+
+
+class ProtocolNode(ABC):
+    """Base class for all algorithm nodes (core and baselines).
+
+    Subclasses implement :meth:`on_message` and expose client operations as
+    generator methods (e.g. ``update``/``scan`` for snapshot objects,
+    ``propose`` for lattice agreement).
+    """
+
+    def __init__(self, node_id: int, n: int, f: int) -> None:
+        if not 0 <= node_id < n:
+            raise ValueError(f"node_id {node_id} out of range for n={n}")
+        if f < 0 or n <= 0:
+            raise ValueError(f"bad parameters n={n}, f={f}")
+        self.node_id = node_id
+        self.n = n
+        self.f = f
+        self.outbox: list[_Send | _Broadcast] = []
+
+    # -- fault-tolerance arithmetic -------------------------------------
+    @property
+    def quorum_size(self) -> int:
+        """``n − f``: the size of every wait-for quorum in the paper."""
+        return self.n - self.f
+
+    # -- transport-facing API -------------------------------------------
+    def send(self, dst: int, payload: Any) -> None:
+        """Queue a point-to-point message (reliable once flushed)."""
+        self.outbox.append(_Send(dst, payload))
+
+    def broadcast(self, payload: Any, *, include_self: bool = True) -> None:
+        """Queue a "send to all" (paper's broadcast idiom).
+
+        ``include_self=True`` delivers a copy to the sender through the
+        same handler path (with zero network delay) — this is how, e.g.,
+        a node's own ``value`` message lands in ``V[i]`` via line 40, and
+        how a node's own ack counts toward its ``n − f`` quorums.
+        """
+        dests = tuple(
+            d for d in range(self.n) if include_self or d != self.node_id
+        )
+        self.outbox.append(_Broadcast(payload, dests))
+
+    # -- protocol hooks ---------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the cluster starts (default: nothing)."""
+
+    @abstractmethod
+    def on_message(self, src: int, payload: Any) -> None:
+        """Handle one delivered message (executed atomically)."""
+
+    # -- snapshot-object client API (optional; documented here for
+    #    discoverability — snapshot algorithms override these) -----------
+    def update(self, value: Any) -> OpGen:  # pragma: no cover - interface
+        raise NotImplementedError(f"{type(self).__name__} has no update()")
+
+    def scan(self) -> OpGen:  # pragma: no cover - interface
+        raise NotImplementedError(f"{type(self).__name__} has no scan()")
+
+
+__all__ = ["OpGen", "ProtocolNode", "WaitUntil"]

@@ -1,0 +1,148 @@
+"""The discrete-event simulator.
+
+The simulator advances virtual time by executing scheduled events in
+deterministic order.  It is the global clock of the paper's analysis
+(Sec. II-A): only the harness reads :attr:`Simulator.now`; protocol code
+never does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation violates one of its own invariants
+    (time going backwards, step-budget exhaustion, deadlock detection)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [1.5]
+    """
+
+    def __init__(self, *, max_steps: int = 50_000_000) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._steps = 0
+        self._max_steps = max_steps
+        self._running = False
+        self._trace_hooks: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (observer clock)."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events executed so far."""
+        return self._steps
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, action, priority=priority, tag=tag)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self._queue.cancel(event)
+
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called before each event executes (debug/trace)."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"time went backwards: event at {event.time} < now {self._now}"
+            )
+        self._now = event.time
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise SimulationError(
+                f"step budget exhausted ({self._max_steps}); likely livelock"
+            )
+        for hook in self._trace_hooks:
+            hook(event)
+        event.action()
+        return True
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``stop_when``.
+
+        ``stop_when`` is evaluated after every event; ``until`` stops
+        *before* executing any event scheduled strictly after it (and
+        advances the clock to ``until``).
+        """
+        if self._running:
+            raise SimulationError("re-entrant Simulator.run")
+        self._running = True
+        try:
+            while True:
+                if stop_when is not None and stop_when():
+                    return
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    return
+                if until is not None and next_time > until:
+                    self._now = until
+                    return
+                self.step()
+        finally:
+            self._running = False
+
+
+__all__ = ["SimulationError", "Simulator"]

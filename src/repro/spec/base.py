@@ -1,0 +1,85 @@
+"""Bases of SCAN operations (Definitions 4 and 5).
+
+The *base* of a SCAN that returned ``Snap`` is the union, over all nodes
+``j``, of the UPDATE operations by ``j`` up to and including the one whose
+value appears in ``Snap[j]`` — i.e. the per-writer prefixes induced by the
+returned vector.  We represent a base as a frozenset of UPDATE identities
+``(writer, useq)``; prefix-closure per writer is then the statement
+``(j, s) ∈ B ⟹ (j, s') ∈ B for all 1 ≤ s' ≤ s``.
+"""
+
+from __future__ import annotations
+
+from repro.spec.history import History, OpRecord
+
+Base = frozenset[tuple[int, int]]
+
+
+def scan_base(scan: OpRecord) -> Base:
+    """Base of a completed SCAN, per Definition 4.
+
+    Uses the snapshot's metadata (writer, useq) — the paper's footnote-2
+    unique-operation identities — to build the per-writer prefixes.
+    """
+    snap = scan.snapshot()
+    out: set[tuple[int, int]] = set()
+    for j in range(snap.n):
+        uid = scan.snapshot().segment_uid(j)
+        if uid is None:
+            continue
+        writer, useq = uid
+        for s in range(1, useq + 1):
+            out.add((writer, s))
+    return frozenset(out)
+
+
+def base_restricted(base: Base, writer: int) -> frozenset[int]:
+    """The useq's of ``writer`` present in the base (``B[i]`` in the paper)."""
+    return frozenset(s for (w, s) in base if w == writer)
+
+
+def comparable(b1: Base, b2: Base) -> bool:
+    """Definition 5: bases are comparable iff one contains the other."""
+    return b1 <= b2 or b2 <= b1
+
+
+def is_prefix_closed(base: Base) -> bool:
+    """Per-writer prefix closure (implied by Definition 4's construction;
+    re-checked because algorithms hand us raw snapshots)."""
+    for writer in {w for (w, _) in base}:
+        seqs = base_restricted(base, writer)
+        if seqs and seqs != frozenset(range(1, max(seqs) + 1)):
+            return False
+    return True
+
+
+def legal_against_history(scan: OpRecord, history: History) -> str | None:
+    """Check the snapshot's contents are consistent with the history:
+    every (writer, useq) it references is a real UPDATE and the returned
+    value equals that UPDATE's argument.  Returns an error string or None.
+    """
+    registry = history.update_registry()
+    snap = scan.snapshot()
+    for j in range(snap.n):
+        uid = snap.segment_uid(j)
+        if uid is None:
+            continue
+        op = registry.get(uid)
+        if op is None:
+            return f"scan {scan.op_id}: segment {j} references unknown update {uid}"
+        if op.args[0] != snap[j]:
+            return (
+                f"scan {scan.op_id}: segment {j} value {snap[j]!r} does not "
+                f"match update {uid} which wrote {op.args[0]!r}"
+            )
+    return None
+
+
+__all__ = [
+    "Base",
+    "scan_base",
+    "base_restricted",
+    "comparable",
+    "is_prefix_closed",
+    "legal_against_history",
+]

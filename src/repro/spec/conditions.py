@@ -1,0 +1,149 @@
+"""The tight conditions (A1)–(A4) of Theorem 1, as an executable checker.
+
+Given a history, :func:`check_atomicity_conditions` verifies:
+
+- (A1) the bases of any two SCANs are comparable;
+- (A2) the base of a SCAN contains every UPDATE that precedes it;
+- (A3) if ``sc1 → sc2`` then ``B(sc1) ⊆ B(sc2)``;
+- (A4) if an UPDATE ``op`` is in the base of a SCAN, every UPDATE that
+  precedes ``op`` is too.
+
+plus two well-formedness checks the theorem presupposes: each base is
+per-writer prefix-closed, and each returned value matches the UPDATE that
+allegedly wrote it.  By Theorem 1, all-pass implies the history is
+linearizable (and :mod:`repro.spec.linearize` will construct a witness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spec.base import (
+    comparable,
+    is_prefix_closed,
+    legal_against_history,
+    scan_base,
+)
+from repro.spec.history import History
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One violated condition, with the witnessing operations."""
+
+    condition: str
+    detail: str
+    ops: tuple[int, ...]  # op_ids involved
+
+    def __str__(self) -> str:
+        return f"[{self.condition}] {self.detail} (ops {self.ops})"
+
+
+def check_atomicity_conditions(history: History) -> list[Violation]:
+    """Run (A1)–(A4) plus well-formedness; returns all violations found."""
+    history.validate_well_formed()
+    violations: list[Violation] = []
+    scans = history.scans()
+    updates = history.updates(include_pending=True)
+    bases = {sc.op_id: scan_base(sc) for sc in scans}
+
+    # well-formedness: legality of returned values + prefix closure
+    for sc in scans:
+        err = legal_against_history(sc, history)
+        if err is not None:
+            violations.append(Violation("legal", err, (sc.op_id,)))
+        if not is_prefix_closed(bases[sc.op_id]):
+            violations.append(
+                Violation(
+                    "prefix",
+                    f"scan {sc.op_id} has a non-prefix-closed base",
+                    (sc.op_id,),
+                )
+            )
+
+    # (A0) no reads from the future: every update referenced by a scan's
+    # base was invoked before the scan responded.  Implicit in the paper
+    # (a value must physically reach the scanner); made explicit here so
+    # that (A0)-(A4) are jointly sufficient (see repro.spec.linearize).
+    registry0 = history.update_registry()
+    for sc in scans:
+        for uid in bases[sc.op_id]:
+            up = registry0.get(uid)
+            if up is not None and sc.t_resp is not None and up.t_inv >= sc.t_resp:
+                violations.append(
+                    Violation(
+                        "A0",
+                        f"scan {sc.op_id} returned a value of update {up.op_id} "
+                        "that was invoked after the scan responded",
+                        (up.op_id, sc.op_id),
+                    )
+                )
+
+    # (A1) pairwise comparable bases
+    for a in range(len(scans)):
+        for b in range(a + 1, len(scans)):
+            sc1, sc2 = scans[a], scans[b]
+            if not comparable(bases[sc1.op_id], bases[sc2.op_id]):
+                violations.append(
+                    Violation(
+                        "A1",
+                        f"bases of scans {sc1.op_id} and {sc2.op_id} are incomparable",
+                        (sc1.op_id, sc2.op_id),
+                    )
+                )
+
+    # (A2) every preceding UPDATE is in the base
+    for sc in scans:
+        base = bases[sc.op_id]
+        for up in updates:
+            if History.precedes(up, sc) and up.uid() not in base:
+                violations.append(
+                    Violation(
+                        "A2",
+                        f"update {up.op_id} {up.uid()} precedes scan {sc.op_id} "
+                        "but is missing from its base",
+                        (up.op_id, sc.op_id),
+                    )
+                )
+
+    # (A3) scan order implies base containment
+    for sc1 in scans:
+        for sc2 in scans:
+            if sc1 is sc2 or not History.precedes(sc1, sc2):
+                continue
+            if not bases[sc1.op_id] <= bases[sc2.op_id]:
+                violations.append(
+                    Violation(
+                        "A3",
+                        f"scan {sc1.op_id} precedes scan {sc2.op_id} but "
+                        "B(sc1) ⊄ B(sc2)",
+                        (sc1.op_id, sc2.op_id),
+                    )
+                )
+
+    # (A4) bases are closed under the precedes relation on updates
+    registry = history.update_registry()
+    for sc in scans:
+        base = bases[sc.op_id]
+        in_base = [registry[uid] for uid in base if uid in registry]
+        for v in in_base:
+            for u in updates:
+                if History.precedes(u, v) and u.uid() not in base:
+                    violations.append(
+                        Violation(
+                            "A4",
+                            f"update {u.op_id} precedes update {v.op_id} which is "
+                            f"in the base of scan {sc.op_id}, but {u.op_id} is not",
+                            (u.op_id, v.op_id, sc.op_id),
+                        )
+                    )
+    return violations
+
+
+def check_linearizable(history: History) -> list[Violation]:
+    """Alias used by the public API: Theorem 1 says the conditions are
+    necessary *and* sufficient, so an empty result means linearizable."""
+    return check_atomicity_conditions(history)
+
+
+__all__ = ["Violation", "check_atomicity_conditions", "check_linearizable"]

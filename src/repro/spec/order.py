@@ -1,0 +1,248 @@
+"""Exact order-theoretic checker for snapshot histories.
+
+Complementing the (A1)–(A4) condition checker, this module decides
+linearizability / sequential consistency of a single-writer snapshot
+history *exactly*, in polynomial time, by building the constraint graph of
+forced orderings and testing acyclicity:
+
+- ``u → sc``   if UPDATE ``u`` is in the base of SCAN ``sc``
+  (a legal serialization must apply ``u`` first);
+- ``sc → u``   if ``u`` is *not* in the base (if ``u`` preceded ``sc`` in a
+  legal order, per-writer prefix closure would force it into the base);
+- ``sc1 → sc2`` if ``B(sc1) ⊊ B(sc2)``;
+- per-node program order;
+- (linearizability only) ``op → op'`` whenever ``op`` responds before
+  ``op'`` is invoked.
+
+Every edge is *forced* (no legal order can invert it), so a cycle proves
+non-linearizability / non-SC, and any topological order is — by
+construction — a legal serialization.  This gives both a decision
+procedure and a witness constructor; the witness is independently
+re-validated by :func:`validate_serialization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.spec.base import Base, scan_base
+from repro.spec.history import History, OpRecord
+
+
+@dataclass(slots=True)
+class OrderResult:
+    """Outcome of the graph-based check.
+
+    Attributes:
+        ok: True iff a legal serialization exists.
+        order: the witness serialization (op records, in order) when ok.
+        cycle: op_ids forming a violating cycle when not ok.
+    """
+
+    ok: bool
+    order: list[OpRecord] = field(default_factory=list)
+    cycle: list[int] = field(default_factory=list)
+
+
+def effective_ops(history: History) -> list[OpRecord]:
+    """Operations that must appear in a serialization: all completed ops,
+    plus pending UPDATEs whose value is visible in some completed scan
+    (a crashed writer's update that "took effect")."""
+    visible: set[tuple[int, int]] = set()
+    for sc in history.scans():
+        visible |= scan_base(sc)
+    out: list[OpRecord] = []
+    for op in history.ops:
+        if op.complete:
+            out.append(op)
+        elif op.is_update and op.uid() in visible:
+            out.append(op)
+    return out
+
+
+def _build_graph(
+    history: History, *, real_time: bool
+) -> tuple[list[OpRecord], dict[int, set[int]]]:
+    ops = effective_ops(history)
+    bases: dict[int, Base] = {
+        op.op_id: scan_base(op) for op in ops if op.is_scan
+    }
+    included = {op.op_id for op in ops}
+    adj: dict[int, set[int]] = {op.op_id: set() for op in ops}
+
+    def add(a: int, b: int) -> None:
+        if a != b:
+            adj[a].add(b)
+
+    # program order per node
+    per_node: dict[int, list[OpRecord]] = {}
+    for op in ops:
+        per_node.setdefault(op.node, []).append(op)
+    for seq in per_node.values():
+        seq.sort(key=lambda o: o.t_inv)
+        for a, b in zip(seq, seq[1:]):
+            add(a.op_id, b.op_id)
+
+    scans = [op for op in ops if op.is_scan]
+    updates = [op for op in ops if op.is_update]
+
+    # update/scan membership edges
+    for sc in scans:
+        base = bases[sc.op_id]
+        for up in updates:
+            if up.uid() in base:
+                add(up.op_id, sc.op_id)
+            else:
+                add(sc.op_id, up.op_id)
+
+    # scan/scan base-containment edges
+    for sc1 in scans:
+        for sc2 in scans:
+            if sc1 is not sc2 and bases[sc1.op_id] < bases[sc2.op_id]:
+                add(sc1.op_id, sc2.op_id)
+
+    # real-time edges (linearizability only)
+    if real_time:
+        for a in ops:
+            if a.t_resp is None:
+                continue
+            for b in ops:
+                if a is not b and History.precedes(a, b):
+                    add(a.op_id, b.op_id)
+
+    return ops, adj
+
+
+def _topo_order(
+    ops: list[OpRecord], adj: dict[int, set[int]]
+) -> OrderResult:
+    by_id = {op.op_id: op for op in ops}
+    indeg = {op.op_id: 0 for op in ops}
+    for a, succs in adj.items():
+        for b in succs:
+            indeg[b] += 1
+    # deterministic tie-break: invocation time, then op id
+    ready: list[tuple[float, int]] = []
+    for op in ops:
+        if indeg[op.op_id] == 0:
+            heappush(ready, (op.t_inv, op.op_id))
+    order: list[OpRecord] = []
+    while ready:
+        _, oid = heappop(ready)
+        order.append(by_id[oid])
+        for b in adj[oid]:
+            indeg[b] -= 1
+            if indeg[b] == 0:
+                heappush(ready, (by_id[b].t_inv, b))
+    if len(order) != len(ops):
+        # find a cycle among the remaining nodes for diagnostics
+        remaining = {oid for oid, d in indeg.items() if d > 0}
+        cycle = _find_cycle(remaining, adj)
+        return OrderResult(ok=False, cycle=cycle)
+    return OrderResult(ok=True, order=order)
+
+
+def _find_cycle(nodes: set[int], adj: dict[int, set[int]]) -> list[int]:
+    colour: dict[int, int] = {}  # 0 unseen / 1 on stack / 2 done
+    stack: list[int] = []
+
+    def dfs(u: int) -> list[int] | None:
+        colour[u] = 1
+        stack.append(u)
+        for v in adj.get(u, ()):
+            if v not in nodes:
+                continue
+            c = colour.get(v, 0)
+            if c == 1:
+                return stack[stack.index(v) :]
+            if c == 0:
+                found = dfs(v)
+                if found is not None:
+                    return found
+        colour[u] = 2
+        stack.pop()
+        return None
+
+    for start in sorted(nodes):
+        if colour.get(start, 0) == 0:
+            found = dfs(start)
+            if found is not None:
+                return list(found)
+    return []
+
+
+def order_check(history: History, *, real_time: bool) -> OrderResult:
+    """Decide (and witness) linearizability (``real_time=True``) or
+    sequential consistency (``real_time=False``)."""
+    history.validate_well_formed()
+    ops, adj = _build_graph(history, real_time=real_time)
+    result = _topo_order(ops, adj)
+    if result.ok:
+        errs = validate_serialization(history, result.order, real_time=real_time)
+        if errs:
+            raise AssertionError(
+                "constraint-graph witness failed validation: " + "; ".join(errs)
+            )
+    return result
+
+
+def validate_serialization(
+    history: History, order: list[OpRecord], *, real_time: bool
+) -> list[str]:
+    """Independently validate a candidate serialization: legality against
+    the sequential specification (Definition 1), equivalence with the
+    history (per-node subsequences), and — for linearizations — the
+    real-time order.  Returns a list of error strings (empty = valid)."""
+    errors: list[str] = []
+    # equivalence: exactly the effective ops, per-node order preserved
+    expected = effective_ops(history)
+    if {o.op_id for o in order} != {o.op_id for o in expected}:
+        errors.append("serialization does not contain exactly the effective ops")
+    per_node_seen: dict[int, list[int]] = {}
+    for op in order:
+        per_node_seen.setdefault(op.node, []).append(op.op_id)
+    for node, ids in per_node_seen.items():
+        hist_ids = [
+            o.op_id
+            for o in sorted(
+                (x for x in expected if x.node == node), key=lambda o: o.t_inv
+            )
+        ]
+        if ids != hist_ids:
+            errors.append(f"node {node} order differs: {ids} vs history {hist_ids}")
+
+    # legality: replay the sequential specification
+    latest: dict[int, tuple[int, int] | None] = {j: None for j in range(history.n)}
+    useq_count = {j: 0 for j in range(history.n)}
+    for op in order:
+        if op.is_update:
+            useq_count[op.node] += 1
+            if useq_count[op.node] != op.useq:
+                errors.append(
+                    f"update {op.op_id} applied out of per-writer order "
+                    f"(expected useq {useq_count[op.node]}, has {op.useq})"
+                )
+            latest[op.node] = op.uid()
+        elif op.is_scan:
+            snap = op.snapshot()
+            for j in range(history.n):
+                got = snap.segment_uid(j)
+                if got != latest[j]:
+                    errors.append(
+                        f"scan {op.op_id} segment {j}: returned {got}, "
+                        f"sequential spec expects {latest[j]}"
+                    )
+
+    if real_time:
+        pos = {op.op_id: idx for idx, op in enumerate(order)}
+        for a in order:
+            for b in order:
+                if History.precedes(a, b) and pos[a.op_id] > pos[b.op_id]:
+                    errors.append(
+                        f"real-time violation: {a.op_id} → {b.op_id} inverted"
+                    )
+    return errors
+
+
+__all__ = ["OrderResult", "effective_ops", "order_check", "validate_serialization"]

@@ -1,0 +1,119 @@
+"""Tight conditions for sequentially consistent snapshot objects.
+
+The paper identifies necessary and sufficient conditions for SSO alongside
+the ASO conditions, deferring the statement to its technical report
+(Sec. I-B: "we identify necessary and sufficient conditions for correctly
+implementing ASO and SSO").  This module states and checks our
+reconstruction; its equivalence with the exact decision procedure
+(:func:`repro.spec.order.order_check` without real-time edges) is
+property-tested against randomized histories, so the conditions below are
+*machine-checked tight* for the histories this library produces:
+
+- **(S1)** the bases of any two SCANs are comparable (= A1);
+- **(S2a)** a node's own UPDATE is in the base of its own later SCANs;
+- **(S2b)** the bases of a node's own SCANs are monotone in program order;
+- **(S3)** a SCAN's base never contains a *later* UPDATE of its own node
+  (no reads of one's own future);
+- **(S4)** every base is per-writer prefix-closed, and every returned
+  value matches the UPDATE that wrote it (well-formedness).
+
+Relative to the ASO conditions, the real-time requirements (A0, A2, A3
+across nodes, A4) are dropped and replaced by their per-node shadows —
+which is precisely the semantic gap between Definition 3 and Definition 2.
+"""
+
+from __future__ import annotations
+
+from repro.spec.base import is_prefix_closed, legal_against_history, scan_base
+from repro.spec.conditions import Violation
+from repro.spec.history import History
+
+
+def check_sso_conditions(history: History) -> list[Violation]:
+    """Check (S1)–(S4); empty result ⟺ the history is sequentially
+    consistent (property-tested equivalence with the exact checker)."""
+    history.validate_well_formed()
+    violations: list[Violation] = []
+    scans = history.scans()
+    bases = {sc.op_id: scan_base(sc) for sc in scans}
+
+    # (S4) well-formedness
+    for sc in scans:
+        err = legal_against_history(sc, history)
+        if err is not None:
+            violations.append(Violation("S4", err, (sc.op_id,)))
+        if not is_prefix_closed(bases[sc.op_id]):
+            violations.append(
+                Violation(
+                    "S4",
+                    f"scan {sc.op_id} has a non-prefix-closed base",
+                    (sc.op_id,),
+                )
+            )
+
+    # (S1) comparability
+    for i in range(len(scans)):
+        for j in range(i + 1, len(scans)):
+            a, b = bases[scans[i].op_id], bases[scans[j].op_id]
+            if not (a <= b or b <= a):
+                violations.append(
+                    Violation(
+                        "S1",
+                        f"bases of scans {scans[i].op_id} and "
+                        f"{scans[j].op_id} are incomparable",
+                        (scans[i].op_id, scans[j].op_id),
+                    )
+                )
+
+    # per-node program-order conditions
+    for node in range(history.n):
+        ops = sorted(
+            (op for op in history.by_node(node) if op.complete),
+            key=lambda o: o.t_inv,
+        )
+        updates_so_far = 0
+        last_scan_base = None
+        last_scan_id = None
+        for op in ops:
+            if op.is_update:
+                updates_so_far += 1
+            else:
+                base = bases[op.op_id]
+                own = {s for (w, s) in base if w == node}
+                # (S2a): all own preceding updates visible
+                expected = set(range(1, updates_so_far + 1))
+                if not expected <= own:
+                    violations.append(
+                        Violation(
+                            "S2a",
+                            f"scan {op.op_id} at node {node} misses its own "
+                            f"update(s) {sorted(expected - own)}",
+                            (op.op_id,),
+                        )
+                    )
+                # (S3): no own future reads
+                future = {s for s in own if s > updates_so_far}
+                if future:
+                    violations.append(
+                        Violation(
+                            "S3",
+                            f"scan {op.op_id} at node {node} returns its own "
+                            f"future update(s) {sorted(future)}",
+                            (op.op_id,),
+                        )
+                    )
+                # (S2b): own scan bases monotone
+                if last_scan_base is not None and not (last_scan_base <= base):
+                    violations.append(
+                        Violation(
+                            "S2b",
+                            f"scan {op.op_id} at node {node} has a smaller "
+                            f"base than its predecessor {last_scan_id}",
+                            (op.op_id,),
+                        )
+                    )
+                last_scan_base, last_scan_id = base, op.op_id
+    return violations
+
+
+__all__ = ["check_sso_conditions"]

@@ -1,0 +1,42 @@
+"""Tests for the blocking client facade."""
+
+import pytest
+
+from repro.apps import SnapshotClient
+from repro.core import EqAso
+from repro.net.faults import CrashAtTime, CrashPlan
+from repro.runtime.cluster import Cluster
+
+
+def test_update_and_scan_blocking():
+    cluster = Cluster(EqAso, n=4, f=1)
+    alice = SnapshotClient(cluster, 0)
+    bob = SnapshotClient(cluster, 1)
+    alice.update("hi")
+    snap = bob.scan()
+    assert snap.values[0] == "hi"
+
+
+def test_call_returns_handle_with_latency():
+    cluster = Cluster(EqAso, n=4, f=1)
+    client = SnapshotClient(cluster, 0)
+    handle = client.update("x")
+    assert handle.done and handle.latency > 0
+
+
+def test_crashed_node_raises():
+    plan = CrashPlan({0: CrashAtTime(0.5)})
+    cluster = Cluster(EqAso, n=4, f=1, crash_plan=plan)
+    client = SnapshotClient(cluster, 0)
+    cluster.run(until=1.0)
+    with pytest.raises(RuntimeError, match="aborted"):
+        client.update("x")
+
+
+def test_interleaved_clients_share_simulation():
+    cluster = Cluster(EqAso, n=4, f=1)
+    clients = [SnapshotClient(cluster, i) for i in range(3)]
+    for i, c in enumerate(clients):
+        c.update(f"v{i}")
+    snap = clients[0].scan()
+    assert snap.values[:3] == ("v0", "v1", "v2")

@@ -1,0 +1,110 @@
+"""Tests for the linearizable CRDTs."""
+
+import pytest
+
+from repro.apps import GCounter, LWWRegister, ORSet, PNCounter
+from repro.core import EqAso, SsoFastScan
+from repro.runtime.cluster import Cluster
+from repro.spec import is_linearizable
+
+
+def cluster(n=4, f=1, algo=EqAso):
+    return Cluster(algo, n=n, f=f)
+
+
+def test_gcounter_sums_contributions():
+    c = cluster()
+    a, b = GCounter(c, 0), GCounter(c, 1)
+    a.increment(3)
+    b.increment()
+    a.increment(2)
+    assert a.value() == 6
+    assert b.value() == 6
+
+
+def test_gcounter_rejects_negative():
+    c = cluster()
+    with pytest.raises(ValueError):
+        GCounter(c, 0).increment(-1)
+
+
+def test_gcounter_reads_are_instantaneous_views():
+    c = cluster()
+    a = GCounter(c, 0)
+    a.increment(5)
+    assert a.value() == 5
+    assert is_linearizable(c.history)
+
+
+def test_pncounter_increments_and_decrements():
+    c = cluster()
+    a, b = PNCounter(c, 0), PNCounter(c, 1)
+    a.increment(10)
+    b.decrement(4)
+    a.decrement(1)
+    assert b.value() == 5
+
+
+def test_pncounter_validation():
+    c = cluster()
+    pn = PNCounter(c, 0)
+    with pytest.raises(ValueError):
+        pn.increment(-2)
+    with pytest.raises(ValueError):
+        pn.decrement(-2)
+
+
+def test_orset_add_remove():
+    c = cluster()
+    a, b = ORSet(c, 0), ORSet(c, 1)
+    a.add("x")
+    b.add("y")
+    assert a.contains("x") and a.contains("y")
+    a.remove("y")
+    assert not b.contains("y")
+    assert b.elements() == {"x"}
+
+
+def test_orset_concurrent_duplicate_adds_need_both_removed():
+    c = cluster()
+    a, b = ORSet(c, 0), ORSet(c, 1)
+    a.add("x")
+    b.add("x")
+    a.remove("x")  # observes BOTH adds (they completed), removes both
+    assert not b.contains("x")
+
+
+def test_orset_readd_after_remove():
+    c = cluster()
+    a = ORSet(c, 0)
+    a.add("x")
+    a.remove("x")
+    a.add("x")
+    assert a.contains("x")
+
+
+def test_lww_register_total_order():
+    c = cluster()
+    r0, r1, r2 = (LWWRegister(c, i) for i in range(3))
+    r0.write("first")
+    r1.write("second")
+    assert r2.read() == "second"
+    r2.write("third")
+    assert r0.read() == "third"
+
+
+def test_lww_register_empty_reads_none():
+    c = cluster()
+    assert LWWRegister(c, 0).read() is None
+
+
+def test_crdts_work_over_sso_substrate():
+    c = cluster(algo=SsoFastScan)
+    a, b = GCounter(c, 0), GCounter(c, 1)
+    a.increment(2)
+    b.increment(3)
+    # own reads see own writes; reads are monotone
+    assert a.value() >= 2
+    v1 = b.value()
+    v2 = b.value()
+    assert v1 <= v2 <= 5

@@ -1,0 +1,73 @@
+"""Tests for the update-query state machine."""
+
+from repro.apps import UpdateQueryStateMachine
+from repro.apps.state_machine import merge_logs
+from repro.core import EqAso, SsoFastScan
+from repro.core.tags import Snapshot, Timestamp, ValueTs
+from repro.runtime.cluster import Cluster
+
+
+def make_machines(n=3, algo=EqAso, initial=0, apply=lambda s, c: s + c):
+    cluster = Cluster(algo, n=n, f=(n - 1) // 2)
+    return cluster, [
+        UpdateQueryStateMachine(cluster, i, initial, apply) for i in range(n)
+    ]
+
+
+def test_counter_machine():
+    _, ms = make_machines()
+    ms[0].issue(5)
+    ms[1].issue(3)
+    ms[0].issue(-1)
+    assert ms[2].query() == 7
+
+
+def test_issued_tracks_own_commands():
+    _, ms = make_machines()
+    ms[0].issue(1)
+    ms[0].issue(2)
+    assert ms[0].issued == (1, 2)
+
+
+def test_kv_machine_with_dict_state():
+    def apply(state, cmd):
+        key, value = cmd
+        out = dict(state)
+        out[key] = value
+        return out
+
+    _, ms = make_machines(initial={}, apply=apply)
+    ms[0].issue(("a", 1))
+    ms[1].issue(("b", 2))
+    assert ms[2].query() == {"a": 1, "b": 2}
+
+
+def test_merge_logs_deterministic_interleaving():
+    snap = Snapshot(
+        values=(("a1", "a2"), ("b1",), None),
+        meta=(
+            ValueTs(("a1", "a2"), Timestamp(2, 0), 2),
+            ValueTs(("b1",), Timestamp(1, 1), 1),
+            None,
+        ),
+    )
+    assert merge_logs(snap) == ["a1", "b1", "a2"]
+
+
+def test_merge_logs_empty_snapshot():
+    snap = Snapshot(values=(None, None), meta=(None, None))
+    assert merge_logs(snap) == []
+
+
+def test_queries_monotone_on_sso():
+    cluster, ms = make_machines(algo=SsoFastScan)
+    ms[0].issue(10)
+    q1 = ms[1].query()
+    cluster.run(until=cluster.sim.now + 3.0)
+    q2 = ms[1].query()
+    assert q1 <= q2 == 10
+
+
+def test_empty_query_returns_initial():
+    _, ms = make_machines(initial=42)
+    assert ms[0].query() == 42

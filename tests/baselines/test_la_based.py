@@ -1,0 +1,105 @@
+"""Tests for the classifier LA [42] and the LA-based ASO [11]."""
+
+import math
+
+import pytest
+
+from repro.baselines.la_based import ClassifierLA, LatticeAso
+from repro.net.delays import UniformDelay
+from repro.runtime.cluster import Cluster
+from repro.sim.rng import SeededRng
+from repro.spec import is_linearizable
+
+from tests.conftest import run_random_execution
+
+
+def test_resilience_bounds():
+    with pytest.raises(ValueError):
+        ClassifierLA(0, 2, 1)
+    with pytest.raises(ValueError):
+        LatticeAso(0, 2, 1)
+
+
+def test_classifier_single_proposer():
+    cluster = Cluster(ClassifierLA, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "propose", ("a", "b"))
+    cluster.run_until_complete([h])
+    assert h.result == {"a", "b"}
+
+
+def test_classifier_round_count_is_logarithmic():
+    for n in (4, 8, 16):
+        cluster = Cluster(ClassifierLA, n=n, f=(n - 1) // 2)
+        h = cluster.invoke_at(0.0, 0, "propose", ("x",))
+        cluster.run_until_complete([h])
+        rounds = cluster.node(0).classifier_rounds
+        assert rounds == math.ceil(math.log2(n)) + 1
+        # each round = write + read quorum trips of 2D each
+        assert h.latency / cluster.D == 4.0 * rounds
+
+
+def test_classifier_validity_and_comparability():
+    for seed in range(6):
+        rng = SeededRng(seed)
+        cluster = Cluster(
+            ClassifierLA,
+            n=6,
+            f=2,
+            delay_model=UniformDelay(1.0, rng.child("d"), lo=0.05),
+        )
+        handles = [
+            cluster.invoke_at(rng.uniform(0, 1.5), i, "propose", (f"v{i}",))
+            for i in range(6)
+        ]
+        cluster.run_until_complete(handles)
+        outs = [h.result for h in handles]
+        union = {f"v{i}" for i in range(6)}
+        for i, out in enumerate(outs):
+            assert {f"v{i}"} <= out <= union
+        for a in outs:
+            for b in outs:
+                assert a <= b or b <= a
+
+
+def test_classifier_double_propose_rejected():
+    cluster = Cluster(ClassifierLA, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "propose", ("a",))
+    cluster.run_until_complete([h])
+    h2 = cluster.invoke_at(50.0, 0, "propose", ("b",))
+    with pytest.raises(RuntimeError, match="already proposed"):
+        cluster.run_until_complete([h2])
+
+
+def test_lattice_aso_semantics():
+    cluster = Cluster(LatticeAso, n=4, f=1)
+    handles = cluster.run_ops(
+        [
+            (0.0, 0, "update", ("a",)),
+            (50.0, 1, "update", ("b",)),
+            (100.0, 2, "scan", ()),
+        ]
+    )
+    assert handles[2].result.values[:2] == ("a", "b")
+
+
+def test_lattice_aso_update_contains_own_value():
+    cluster = Cluster(LatticeAso, n=4, f=1)
+    handles = cluster.chain_ops(0, [("update", ("v1",)), ("scan", ())])
+    cluster.run_until_complete(handles)
+    assert handles[1].result.values[0] == "v1"
+
+
+def test_lattice_aso_randomized_linearizable():
+    for seed in range(5):
+        cluster, handles = run_random_execution(
+            LatticeAso, seed=seed, n=4, f=1, ops_per_node=2
+        )
+        assert all(h.done for h in handles)
+        assert is_linearizable(cluster.history)
+
+
+def test_lattice_aso_commit_rounds_bounded_when_quiet():
+    cluster = Cluster(LatticeAso, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "scan")
+    cluster.run_until_complete([h])
+    assert cluster.node(0).commit_rounds == 1

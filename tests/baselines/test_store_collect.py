@@ -1,0 +1,93 @@
+"""Tests for the store-collect [12] baseline."""
+
+import pytest
+
+from repro.baselines.store_collect import StoreCollectAso, StoreCollectObject
+from repro.runtime.cluster import Cluster
+from repro.spec import is_linearizable
+
+from tests.conftest import run_random_execution
+
+
+def test_resilience_bound():
+    with pytest.raises(ValueError):
+        StoreCollectObject(0, 2, 1)
+
+
+def test_store_collect_primitives():
+    cluster = Cluster(StoreCollectObject, n=4, f=1)
+    triple = (0, 1, "x")
+    h1 = cluster.invoke_at(0.0, 0, "store", frozenset({triple}))
+    cluster.run_until_complete([h1])
+    h2 = cluster.invoke_at(5.0, 1, "collect")
+    cluster.run_until_complete([h2])
+    assert triple in h2.result
+
+
+def test_store_is_one_round_trip():
+    cluster = Cluster(StoreCollectObject, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "store", frozenset({(0, 1, "x")}))
+    cluster.run_until_complete([h])
+    assert h.latency / cluster.D == 2.0
+
+
+def test_collect_merges_from_quorum():
+    cluster = Cluster(StoreCollectObject, n=5, f=2)
+    h1 = cluster.invoke_at(0.0, 0, "store", frozenset({(0, 1, "a")}))
+    h2 = cluster.invoke_at(0.0, 1, "store", frozenset({(1, 1, "b")}))
+    cluster.run_until_complete([h1, h2])
+    h3 = cluster.invoke_at(5.0, 2, "collect")
+    cluster.run_until_complete([h3])
+    assert {(0, 1, "a"), (1, 1, "b")} <= h3.result
+
+
+def test_update_embeds_stable_collect():
+    cluster = Cluster(StoreCollectAso, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "update", "v")
+    cluster.run_until_complete([h])
+    # stable-collect (>= 2D) + store (2D): costlier than Delporte's update
+    assert h.latency / cluster.D >= 4.0
+
+
+def test_scan_returns_cumulative_views():
+    cluster = Cluster(StoreCollectAso, n=4, f=1)
+    handles = cluster.run_ops(
+        [
+            (0.0, 0, "update", ("a",)),
+            (10.0, 1, "update", ("b",)),
+            (20.0, 2, "scan", ()),
+        ]
+    )
+    assert handles[2].result.values[:2] == ("a", "b")
+
+
+def test_per_writer_prefixes_preserved():
+    cluster = Cluster(StoreCollectAso, n=4, f=1)
+    handles = cluster.chain_ops(
+        0, [("update", ("v1",)), ("update", ("v2",)), ("scan", ())]
+    )
+    cluster.run_until_complete(handles)
+    snap = handles[2].result
+    assert snap.values[0] == "v2"
+    assert snap.meta[0].useq == 2
+
+
+def test_randomized_workloads_linearizable():
+    for seed in range(6):
+        cluster, handles = run_random_execution(StoreCollectAso, seed=seed)
+        assert all(h.done for h in handles)
+        assert is_linearizable(cluster.history)
+
+
+def test_survives_f_crashes():
+    from repro.net.faults import CrashAtTime, CrashPlan
+
+    plan = CrashPlan({3: CrashAtTime(1.0)})
+    cluster = Cluster(StoreCollectAso, n=4, f=1, crash_plan=plan)
+    handles = []
+    for node in range(3):
+        handles += cluster.chain_ops(
+            node, [("update", (f"v{node}",)), ("scan", ())], start=node * 0.4
+        )
+    cluster.run_until_complete(handles)
+    assert is_linearizable(cluster.history)

@@ -1,0 +1,55 @@
+"""Shared test helpers: randomized executions fed to the spec checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.workloads import random_workload
+from repro.net.delays import UniformDelay
+from repro.runtime.cluster import Cluster, OpHandle
+from repro.sim.rng import SeededRng
+from repro.spec import History
+
+
+def run_random_execution(
+    factory,
+    *,
+    seed: int,
+    n: int = 5,
+    f: int = 2,
+    ops_per_node: int = 3,
+    scan_prob: float = 0.5,
+    lo_delay: float = 0.05,
+) -> tuple[Cluster, list[OpHandle]]:
+    """One randomized execution of a snapshot algorithm: every node runs a
+    random chain of updates/scans under uniform random delays."""
+    rng = SeededRng(seed)
+    cluster = Cluster(
+        factory,
+        n=n,
+        f=f,
+        delay_model=UniformDelay(1.0, rng.child("delays"), lo=lo_delay),
+    )
+    handles = random_workload(
+        cluster,
+        rng.child("workload"),
+        ops_per_node=ops_per_node,
+        scan_prob=scan_prob,
+    )
+    cluster.run_until_complete(handles)
+    return cluster, handles
+
+
+@pytest.fixture
+def small_history() -> History:
+    """A tiny hand-built linearizable history (1 update, 1 scan)."""
+    from repro.core.tags import Snapshot, Timestamp, ValueTs
+    from repro.spec.history import SCAN, UPDATE
+
+    h = History(2)
+    up = h.invoke(0, UPDATE, ("x",), 0.0)
+    h.respond(up, 1.0, "ACK")
+    vt = ValueTs("x", Timestamp(1, 0), 1)
+    sc = h.invoke(1, SCAN, (), 2.0)
+    h.respond(sc, 3.0, Snapshot(values=("x", None), meta=(vt, None)))
+    return h

@@ -1,0 +1,79 @@
+"""Tests for generalized lattice agreement over the snapshot object."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EqAso
+from repro.core.generalized_la import GeneralizedLatticeAgreement
+from repro.runtime.cluster import Cluster
+
+
+def make_gla(n=4, f=1):
+    cluster = Cluster(EqAso, n=n, f=f)
+    return cluster, [GeneralizedLatticeAgreement(cluster, i) for i in range(n)]
+
+
+def test_learned_contains_own_received():
+    _, nodes = make_gla()
+    nodes[0].receive("a")
+    nodes[0].receive("b")
+    assert {"a", "b"} <= nodes[0].learn()
+
+
+def test_learned_sets_comparable_across_nodes():
+    _, nodes = make_gla()
+    nodes[0].receive("x")
+    nodes[1].receive("y")
+    l0 = nodes[0].learn()
+    l1 = nodes[1].learn()
+    nodes[2].receive("z")
+    l2 = nodes[2].learn()
+    for a in (l0, l1, l2):
+        for b in (l0, l1, l2):
+            assert a <= b or b <= a
+
+
+def test_stability_monotone_learns():
+    _, nodes = make_gla()
+    learned = []
+    for i in range(4):
+        nodes[i % 3].receive(f"v{i}")
+        learned.append(nodes[0].learn())
+    for a, b in zip(learned, learned[1:]):
+        assert a <= b
+
+
+def test_validity_no_invented_values():
+    _, nodes = make_gla()
+    nodes[0].receive("only")
+    out = nodes[1].learn()
+    assert out <= {"only"}
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # node
+            st.sampled_from(["recv", "learn"]),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_gla_properties_random_scripts(script):
+    _, nodes = make_gla()
+    all_received: set = set()
+    all_learned: list[frozenset] = []
+    counter = 0
+    for node, action in script:
+        if action == "recv":
+            counter += 1
+            nodes[node].receive(f"v{counter}")
+            all_received.add(f"v{counter}")
+        else:
+            all_learned.append(nodes[node].learn())
+    # comparability across every learned set ever produced
+    for a in all_learned:
+        for b in all_learned:
+            assert a <= b or b <= a
+        assert a <= all_received  # validity

@@ -1,0 +1,101 @@
+"""Tests for the early-stopping lattice agreement (Sec. I-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lattice_agreement import EarlyStoppingLA, MLAValue
+from repro.net.delays import UniformDelay
+from repro.net.faults import CrashAtTime, CrashPlan
+from repro.runtime.cluster import Cluster
+from repro.sim.rng import SeededRng
+
+
+def run_la(n, f, proposals, *, seed=0, crash_plan=None):
+    rng = SeededRng(seed)
+    cluster = Cluster(
+        EarlyStoppingLA,
+        n=n,
+        f=f,
+        crash_plan=crash_plan,
+        delay_model=UniformDelay(1.0, rng.child("d"), lo=0.05),
+    )
+    handles = [
+        cluster.invoke_at(rng.uniform(0.0, 1.0), node, "propose", tuple(vals))
+        for node, vals in proposals.items()
+    ]
+    cluster.run_until_complete(handles)
+    return {
+        h.node: h.result for h in handles if h.done
+    }, cluster
+
+
+def assert_la_properties(proposals, outputs):
+    union = set()
+    for vals in proposals.values():
+        union |= set(vals)
+    for node, out in outputs.items():
+        assert set(proposals[node]) <= out, "validity: own proposal included"
+        assert out <= union, "validity: no invented values"
+    outs = list(outputs.values())
+    for a in outs:
+        for b in outs:
+            assert a <= b or b <= a, f"comparability violated: {a} vs {b}"
+
+
+def test_resilience_bound():
+    with pytest.raises(ValueError):
+        EarlyStoppingLA(0, 4, 2)
+
+
+def test_single_proposer():
+    outputs, _ = run_la(4, 1, {0: ["x", "y"]})
+    assert outputs[0] == {"x", "y"}
+
+
+def test_all_propose_concurrently():
+    proposals = {i: [f"v{i}"] for i in range(5)}
+    outputs, _ = run_la(5, 2, proposals)
+    assert_la_properties(proposals, outputs)
+
+
+def test_double_propose_rejected():
+    cluster = Cluster(EarlyStoppingLA, n=4, f=1)
+    h = cluster.invoke_at(0.0, 0, "propose", ("a",))
+    cluster.run_until_complete([h])
+    h2 = cluster.invoke_at(10.0, 0, "propose", ("b",))
+    with pytest.raises(RuntimeError, match="already proposed"):
+        cluster.run_until_complete([h2])
+
+
+def test_with_crashed_proposer():
+    plan = CrashPlan({3: CrashAtTime(0.2)})
+    proposals = {i: [f"v{i}"] for i in range(3)}
+    outputs, cluster = run_la(5, 2, proposals, crash_plan=plan)
+    assert_la_properties(proposals, outputs)
+    assert len(outputs) == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    sizes=st.lists(st.integers(min_value=1, max_value=3), min_size=4, max_size=4),
+)
+def test_la_properties_random_schedules(seed, sizes):
+    """Hypothesis sweep: validity + comparability under random delays and
+    random proposal sizes (n=4, f=1)."""
+    proposals = {
+        i: [f"p{i}.{j}" for j in range(size)] for i, size in enumerate(sizes)
+    }
+    outputs, _ = run_la(4, 1, proposals, seed=seed)
+    assert_la_properties(proposals, outputs)
+
+
+def test_decisions_contain_all_quorum_acked_proposals():
+    """A completed proposal (acked by a quorum) is visible to every
+    decision made after it (the LA analogue of A2)."""
+    cluster = Cluster(EarlyStoppingLA, n=4, f=1)
+    h0 = cluster.invoke_at(0.0, 0, "propose", ("early",))
+    cluster.run_until_complete([h0])
+    h1 = cluster.invoke_at(cluster.sim.now + 1.0, 1, "propose", ("late",))
+    cluster.run_until_complete([h1])
+    assert "early" in h1.result

@@ -1,0 +1,83 @@
+"""Tests for the one-shot ASO (Sec. III-C)."""
+
+import pytest
+
+from repro.core.one_shot import OneShotAso
+from repro.runtime.cluster import Cluster
+from repro.spec import is_linearizable
+
+from tests.conftest import run_random_execution
+
+
+def test_resilience_bound():
+    with pytest.raises(ValueError):
+        OneShotAso(0, 4, 2)  # n <= 2f
+
+
+def test_empty_scan_returns_bottom_everywhere():
+    cluster = Cluster(OneShotAso, n=3, f=1)
+    h = cluster.invoke_at(0.0, 0, "scan")
+    cluster.run_until_complete([h])
+    assert h.result.values == (None, None, None)
+    assert h.latency == 0.0  # EQ on empty rows holds immediately
+
+
+def test_update_then_scan():
+    cluster = Cluster(OneShotAso, n=3, f=1)
+    handles = cluster.run_ops(
+        [(0.0, 0, "update", ("u",)), (5.0, 1, "scan", ())]
+    )
+    assert handles[1].result.values == ("u", None, None)
+
+
+def test_double_update_rejected():
+    cluster = Cluster(OneShotAso, n=3, f=1)
+    h1 = cluster.invoke_at(0.0, 0, "update", "a")
+    cluster.run_until_complete([h1])
+    h2 = cluster.invoke_at(10.0, 0, "update", "b")
+    with pytest.raises(RuntimeError, match="already updated"):
+        cluster.run_until_complete([h2])
+
+
+def test_concurrent_updates_all_scans_comparable():
+    cluster = Cluster(OneShotAso, n=5, f=2)
+    handles = []
+    for node in range(5):
+        handles += cluster.chain_ops(
+            node,
+            [("update", (f"v{node}",)), ("scan", ()), ("scan", ())],
+            start=node * 0.1,
+        )
+    cluster.run_until_complete(handles)
+    assert is_linearizable(cluster.history)
+
+
+def test_update_completes_under_f_crashes():
+    from repro.net.faults import CrashAtTime, CrashPlan
+
+    plan = CrashPlan({3: CrashAtTime(0.0), 4: CrashAtTime(0.0)})
+    cluster = Cluster(OneShotAso, n=5, f=2, crash_plan=plan)
+    handles = cluster.run_ops(
+        [(0.0, 0, "update", ("v",)), (5.0, 1, "scan", ())]
+    )
+    assert handles[0].done and handles[1].result.values[0] == "v"
+
+
+def test_figure2_facts_hold():
+    """The Figure 2 reproduction is executable and all caption facts pass."""
+    from repro.harness.figures import run_figure2
+
+    result = run_figure2()
+    assert result.op1_snapshot == (None, None, None)
+    assert set(result.op6_snapshot) == {"u", "v", "w"}
+    assert result.op6_had_to_wait
+    assert len(result.checks) == 5
+
+
+def test_randomized_one_shot_linearizable():
+    """One update per node at random times + random scans: linearizable."""
+    for seed in range(5):
+        cluster, handles = run_random_execution(
+            OneShotAso, seed=seed, n=4, f=1, ops_per_node=1, scan_prob=0.4
+        )
+        assert is_linearizable(cluster.history)

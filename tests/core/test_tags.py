@@ -1,0 +1,87 @@
+"""Unit tests for timestamps, value-timestamp pairs and snapshots."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tags import Snapshot, Timestamp, ValueTs, extract
+
+
+def test_timestamp_ordering_lexicographic():
+    assert Timestamp(1, 5) < Timestamp(2, 0)
+    assert Timestamp(2, 0) < Timestamp(2, 1)
+    assert Timestamp(3, 1) == Timestamp(3, 1)
+
+
+def test_timestamp_validation():
+    with pytest.raises(ValueError):
+        Timestamp(-1, 0)
+    with pytest.raises(ValueError):
+        Timestamp(0, -1)
+
+
+def test_valuets_accessors():
+    vt = ValueTs("v", Timestamp(3, 2), 4)
+    assert vt.tag == 3 and vt.writer == 2 and vt.uid() == (2, 4)
+
+
+def test_valuets_useq_validation():
+    with pytest.raises(ValueError):
+        ValueTs("v", Timestamp(1, 0), 0)
+
+
+def test_snapshot_segment_writer_validation():
+    vt_wrong = ValueTs("v", Timestamp(1, 1), 1)  # written by node 1
+    with pytest.raises(ValueError, match="written by node"):
+        Snapshot(values=("v", None), meta=(vt_wrong, None))  # in segment 0
+
+
+def test_snapshot_length_validation():
+    with pytest.raises(ValueError):
+        Snapshot(values=("v",), meta=(None, None))
+
+
+def test_snapshot_indexing_and_uid():
+    vt = ValueTs("v", Timestamp(1, 0), 1)
+    snap = Snapshot(values=("v", None), meta=(vt, None))
+    assert snap[0] == "v" and snap[1] is None
+    assert snap.segment_uid(0) == (0, 1) and snap.segment_uid(1) is None
+    assert snap.n == 2
+
+
+def test_extract_picks_largest_tag_per_writer():
+    vts = [
+        ValueTs("old", Timestamp(1, 0), 1),
+        ValueTs("new", Timestamp(4, 0), 2),
+        ValueTs("other", Timestamp(2, 1), 1),
+    ]
+    snap = extract(vts, 3)
+    assert snap.values == ("new", "other", None)
+    assert snap.segment_uid(0) == (0, 2)
+
+
+def test_extract_empty_view():
+    snap = extract([], 3)
+    assert snap.values == (None, None, None)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # writer
+            st.integers(min_value=1, max_value=9),  # tag
+            st.integers(min_value=1, max_value=9),  # useq
+        ),
+        max_size=20,
+    )
+)
+def test_extract_result_is_per_writer_maximum(entries):
+    vts = [
+        ValueTs(f"v{w}.{t}", Timestamp(t, w), u) for (w, t, u) in entries
+    ]
+    snap = extract(vts, 4)
+    for j in range(4):
+        tags_j = [vt.ts for vt in vts if vt.writer == j]
+        if not tags_j:
+            assert snap.values[j] is None
+        else:
+            assert snap.meta[j].ts == max(tags_j)

@@ -1,0 +1,118 @@
+"""Unit + property tests for view vectors and the EQ predicate."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.tags import Timestamp, ValueTs
+from repro.core.views import ViewVector, eq_predicate
+
+
+def vt(value, tag, writer=0, useq=1):
+    return ValueTs(value, Timestamp(tag, writer), useq)
+
+
+def test_add_and_membership():
+    V = ViewVector(3)
+    x = vt("x", 1)
+    assert V.add(1, x) is True
+    assert V.add(1, x) is False  # duplicate
+    assert V.contains(1, x)
+    assert V.row(1) == {x}
+    assert V.row_size(1) == 1
+
+
+def test_restricted_row_filters_by_tag():
+    V = ViewVector(2)
+    V.add(0, vt("low", 1))
+    V.add(0, vt("high", 5, useq=2))
+    assert V.restricted_row(0, 3) == {vt("low", 1)}
+    assert V.restricted_row(0, 5) == {vt("low", 1), vt("high", 5, useq=2)}
+    assert V.restricted_row(0, 0) == frozenset()
+
+
+def test_restricted_row_cache_invalidates_on_growth():
+    V = ViewVector(2)
+    V.add(0, vt("a", 1))
+    assert V.restricted_row(0, 2) == {vt("a", 1)}
+    V.add(0, vt("b", 2, useq=2))
+    assert V.restricted_row(0, 2) == {vt("a", 1), vt("b", 2, useq=2)}
+
+
+def test_all_values_union():
+    V = ViewVector(3)
+    V.add(0, vt("a", 1))
+    V.add(2, vt("b", 2, writer=1))
+    assert V.all_values() == {vt("a", 1), vt("b", 2, writer=1)}
+
+
+def test_eq_trivially_true_on_empty_vector():
+    V = ViewVector(3)
+    hit = eq_predicate(V, 0, f=1)
+    assert hit is not None
+    quorum, eqset = hit
+    assert quorum == (0, 1, 2) and eqset == frozenset()
+
+
+def test_eq_requires_n_minus_f_equal_rows():
+    V = ViewVector(3)
+    x = vt("x", 1)
+    V.add(0, x)  # own row has x, others do not
+    assert eq_predicate(V, 0, f=1) is None
+    V.add(2, x)
+    hit = eq_predicate(V, 0, f=1)
+    assert hit is not None and hit[0] == (0, 2)
+
+
+def test_eq_with_tag_restriction_ignores_future_values():
+    V = ViewVector(3)
+    future = vt("future", 9)
+    V.add(0, future)  # only in own row, but tag 9 > bound
+    hit = eq_predicate(V, 0, f=1, r=5)
+    assert hit is not None and hit[1] == frozenset()
+    assert eq_predicate(V, 0, f=1) is None  # unrestricted: rows differ
+
+
+def test_eq_quorum_includes_all_matching_rows():
+    V = ViewVector(4)
+    x = vt("x", 1)
+    for j in range(4):
+        V.add(j, x)
+    hit = eq_predicate(V, 0, f=1)
+    assert hit is not None and hit[0] == (0, 1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+values_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # row to add to
+        st.integers(min_value=0, max_value=2),  # writer
+        st.integers(min_value=1, max_value=6),  # tag
+    ),
+    max_size=30,
+)
+
+
+@given(values_strategy, st.integers(min_value=0, max_value=6))
+def test_restricted_rows_are_monotone_in_tag(adds, r):
+    V = ViewVector(3)
+    for row, writer, tag in adds:
+        V.add(row, ValueTs(f"v{writer}.{tag}", Timestamp(tag, writer), tag))
+    for j in range(3):
+        low = V.restricted_row(j, r)
+        high = V.restricted_row(j, r + 1)
+        assert low <= high
+        assert high <= V.row(j)
+
+
+@given(values_strategy)
+def test_eq_set_equals_own_restricted_row(adds):
+    V = ViewVector(3)
+    for row, writer, tag in adds:
+        V.add(row, ValueTs(f"v{writer}.{tag}", Timestamp(tag, writer), tag))
+    for r in range(7):
+        hit = eq_predicate(V, 0, f=1, r=r)
+        if hit is not None:
+            assert hit[1] == V.restricted_row(0, r)
+            assert 0 in hit[0]
+            assert len(hit[0]) >= 2  # n - f

@@ -1,0 +1,67 @@
+"""Tests for the text space-time diagram renderer."""
+
+import pytest
+
+from repro.core import EqAso
+from repro.harness.trace_viz import render_operations, render_trace
+from repro.runtime.cluster import Cluster
+
+
+def traced_cluster():
+    cluster = Cluster(EqAso, n=3, f=1, record_net_trace=True)
+    cluster.run_ops([(0.0, 0, "update", ("v",)), (8.0, 1, "scan", ())])
+    return cluster
+
+
+def test_requires_trace_recording():
+    cluster = Cluster(EqAso, n=3, f=1)
+    with pytest.raises(ValueError, match="record_net_trace"):
+        render_trace(cluster)
+
+
+def test_renders_deliveries_with_descriptions():
+    out = render_trace(traced_cluster())
+    assert "value:v/1" in out
+    assert "readTag" in out and "goodLA" in out
+    assert "-->" in out
+
+
+def test_include_filter():
+    out = render_trace(traced_cluster(), include=["value"])
+    assert "value:v/1" in out
+    assert "readTag" not in out
+
+
+def test_until_filter():
+    cluster = traced_cluster()
+    early = render_trace(cluster, until=1.0)
+    full = render_trace(cluster, max_lines=10_000)
+    assert len(early.splitlines()) < len(full.splitlines())
+
+
+def test_truncation():
+    out = render_trace(traced_cluster(), max_lines=3)
+    assert "more)" in out
+    assert len(out.splitlines()) == 4
+
+
+def test_dropped_messages_marked():
+    from repro.net.faults import CrashAtTime, CrashPlan
+
+    cluster = Cluster(
+        EqAso,
+        n=3,
+        f=1,
+        record_net_trace=True,
+        crash_plan=CrashPlan({2: CrashAtTime(0.5)}),
+    )
+    cluster.run_ops([(0.0, 0, "update", ("v",))])
+    out = render_trace(cluster, max_lines=10_000)
+    assert "--X" in out  # deliveries to the crashed node are drops
+
+
+def test_render_operations_lane():
+    out = render_operations(traced_cluster())
+    assert "node 0  update" in out
+    assert "node 1  scan" in out
+    assert "('v', None, None)" in out

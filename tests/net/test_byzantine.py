@@ -1,0 +1,58 @@
+"""Unit tests for Byzantine shells and behaviours."""
+
+from repro.core.byz_aso import ByzantineAso
+from repro.core.messages import MEchoTag, MReadAck, MReadTag, MWriteTag
+from repro.net.byzantine import (
+    AckForger,
+    ByzantineShell,
+    Silent,
+    TagFlooder,
+    byzantine_factory,
+)
+from repro.runtime.cluster import Cluster
+
+
+def test_factory_mixes_honest_and_byzantine():
+    factory = byzantine_factory(ByzantineAso, {2: Silent()})
+    cluster = Cluster(factory, n=4, f=1)
+    assert isinstance(cluster.node(2), ByzantineShell)
+    assert isinstance(cluster.node(0), ByzantineAso)
+
+
+def test_silent_sends_nothing():
+    shell = ByzantineShell(0, 4, 1, Silent())
+    shell.on_message(1, MWriteTag(3, 1))
+    assert shell.outbox == []
+
+
+def test_tag_flooder_fires_with_budget():
+    flooder = TagFlooder(inflation=5, budget=1)
+    shell = ByzantineShell(0, 4, 1, flooder)
+    shell.on_message(1, MWriteTag(2, 1))
+    assert len(shell.outbox) == 1  # fired once
+    payload = shell.outbox[0].payload
+    assert isinstance(payload, MEchoTag) and payload.tag == 7
+    shell.outbox.clear()
+    shell.on_message(1, MWriteTag(3, 2))
+    assert shell.outbox == []  # budget exhausted
+
+
+def test_tag_flooder_ignores_other_messages():
+    shell = ByzantineShell(0, 4, 1, TagFlooder())
+    shell.on_message(1, MReadTag(1))
+    assert shell.outbox == []
+
+
+def test_ack_forger_inflates_read_acks():
+    shell = ByzantineShell(0, 4, 1, AckForger(inflation=9))
+    shell.on_message(2, MReadTag(5))
+    [send] = shell.outbox
+    assert send.dst == 2
+    assert isinstance(send.payload, MReadAck)
+    assert send.payload.tag == 9 and send.payload.reqid == 5
+
+
+def test_send_to_each_equivocation_helper():
+    shell = ByzantineShell(0, 4, 1, Silent())
+    shell.send_to_each({1: "x", 2: "y"})
+    assert [(s.dst, s.payload) for s in shell.outbox] == [(1, "x"), (2, "y")]

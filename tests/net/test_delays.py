@@ -1,0 +1,70 @@
+"""Unit tests for delay models."""
+
+import pytest
+
+from repro.net.delays import AdversarialDelay, ConstantDelay, DelayModel, UniformDelay
+from repro.sim.rng import SeededRng
+
+
+def test_constant_defaults_to_D():
+    m = ConstantDelay(2.0)
+    assert m.delay_for(0, 1, "msg", 0.0) == 2.0
+
+
+def test_constant_custom_delay():
+    m = ConstantDelay(2.0, delay=0.5)
+    assert m.delay_for(0, 1, "msg", 0.0) == 0.5
+
+
+def test_constant_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        ConstantDelay(1.0, delay=1.5)
+    with pytest.raises(ValueError):
+        ConstantDelay(1.0, delay=-0.1)
+
+
+def test_nonpositive_D_rejected():
+    with pytest.raises(ValueError):
+        ConstantDelay(0.0)
+
+
+def test_self_messages_are_instant():
+    m = ConstantDelay(1.0)
+    assert m.delay_for(3, 3, "msg", 0.0) == 0.0
+
+
+def test_uniform_within_range():
+    m = UniformDelay(1.0, SeededRng(1), lo=0.2, hi=0.8)
+    for _ in range(200):
+        d = m.delay_for(0, 1, None, 0.0)
+        assert 0.2 <= d <= 0.8
+
+
+def test_uniform_bad_range_rejected():
+    with pytest.raises(ValueError):
+        UniformDelay(1.0, SeededRng(1), lo=0.5, hi=0.2)
+    with pytest.raises(ValueError):
+        UniformDelay(1.0, SeededRng(1), lo=0.0, hi=2.0)
+
+
+def test_adversarial_schedule_and_default():
+    m = AdversarialDelay(
+        1.0, lambda s, d, p, t: 0.25 if p == "slow" else None, default=0.75
+    )
+    assert m.delay_for(0, 1, "slow", 0.0) == 0.25
+    assert m.delay_for(0, 1, "other", 0.0) == 0.75
+
+
+def test_adversarial_out_of_bounds_detected():
+    m = AdversarialDelay(1.0, lambda s, d, p, t: 5.0)
+    with pytest.raises(ValueError, match="outside"):
+        m.delay_for(0, 1, None, 0.0)
+
+
+def test_delay_model_enforces_bound_on_subclasses():
+    class Bad(DelayModel):
+        def sample(self, src, dst, payload, now):
+            return self.D * 2
+
+    with pytest.raises(ValueError):
+        Bad(1.0).delay_for(0, 1, None, 0.0)

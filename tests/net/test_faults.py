@@ -1,0 +1,77 @@
+"""Unit tests for crash plans and failure chains."""
+
+import pytest
+
+from repro.net.faults import (
+    BroadcastCrash,
+    CrashAtTime,
+    CrashPlan,
+    chain_crash_plan,
+)
+
+
+def test_empty_plan():
+    plan = CrashPlan.none()
+    assert plan.k == 0
+    assert not plan.is_crashed(0)
+    dests, crash = plan.filter_broadcast(0, "m", [1, 2])
+    assert dests == [1, 2] and not crash
+
+
+def test_timed_crash_listing():
+    plan = CrashPlan({1: CrashAtTime(5.0), 2: BroadcastCrash(deliver_to=(3,))})
+    assert plan.timed_crashes() == [(1, 5.0)]
+    assert plan.k == 2
+    assert plan.planned_nodes() == {1, 2}
+
+
+def test_negative_crash_time_rejected():
+    with pytest.raises(ValueError):
+        CrashAtTime(-1.0)
+
+
+def test_duplicate_spec_rejected():
+    plan = CrashPlan({0: CrashAtTime(1.0)})
+    with pytest.raises(ValueError):
+        plan.add(0, CrashAtTime(2.0))
+
+
+def test_broadcast_crash_truncates_and_fires_once():
+    plan = CrashPlan({0: BroadcastCrash(deliver_to=(2,))})
+    dests, crash = plan.filter_broadcast(0, "anything", [1, 2, 3])
+    assert dests == [2] and crash
+    # the spec fires at most once
+    dests2, crash2 = plan.filter_broadcast(0, "anything", [1, 2, 3])
+    assert dests2 == [1, 2, 3] and not crash2
+
+
+def test_broadcast_crash_match_predicate():
+    plan = CrashPlan({0: BroadcastCrash(deliver_to=(), match=lambda p: p == "doom")})
+    dests, crash = plan.filter_broadcast(0, "benign", [1, 2])
+    assert dests == [1, 2] and not crash
+    dests, crash = plan.filter_broadcast(0, "doom", [1, 2])
+    assert dests == [] and crash
+
+
+def test_mark_and_query_crashed():
+    plan = CrashPlan.none()
+    plan.mark_crashed(4)
+    assert plan.is_crashed(4)
+    assert plan.crashed_nodes == {4}
+
+
+def test_chain_crash_plan_shape():
+    plan = chain_crash_plan([0, 1, 2, 3])
+    # first three crash, last is correct
+    assert plan.planned_nodes() == {0, 1, 2}
+    assert plan.k == 3
+    # node 1 delivers only to node 2
+    dests, crash = plan.filter_broadcast(1, "v", [0, 2, 3])
+    assert dests == [2] and crash
+
+
+def test_chain_requires_two_distinct_nodes():
+    with pytest.raises(ValueError):
+        chain_crash_plan([0])
+    with pytest.raises(ValueError):
+        chain_crash_plan([0, 0])

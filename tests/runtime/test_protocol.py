@@ -1,0 +1,58 @@
+"""Unit tests for the sans-io protocol base class."""
+
+import pytest
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil, _Broadcast, _Send
+
+
+class Echo(ProtocolNode):
+    def on_message(self, src, payload):
+        self.send(src, ("echo", payload))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Echo(5, 3, 1)  # node_id out of range
+    with pytest.raises(ValueError):
+        Echo(0, 3, -1)  # negative f
+    with pytest.raises(ValueError):
+        Echo(0, 0, 0)  # empty system
+
+
+def test_quorum_size():
+    assert Echo(0, 7, 3).quorum_size == 4
+
+
+def test_send_queues_to_outbox():
+    node = Echo(0, 3, 1)
+    node.send(2, "m")
+    [item] = node.outbox
+    assert isinstance(item, _Send) and item.dst == 2 and item.payload == "m"
+
+
+def test_broadcast_includes_self_by_default():
+    node = Echo(1, 3, 1)
+    node.broadcast("m")
+    [item] = node.outbox
+    assert isinstance(item, _Broadcast)
+    assert item.dests == (0, 1, 2)
+
+
+def test_broadcast_exclude_self():
+    node = Echo(1, 3, 1)
+    node.broadcast("m", include_self=False)
+    [item] = node.outbox
+    assert item.dests == (0, 2)
+
+
+def test_default_ops_not_implemented():
+    node = Echo(0, 3, 1)
+    with pytest.raises(NotImplementedError):
+        node.update("x")
+    with pytest.raises(NotImplementedError):
+        node.scan()
+
+
+def test_wait_until_holds_predicate_and_description():
+    w = WaitUntil(lambda: True, "demo")
+    assert w.predicate() and w.description == "demo"

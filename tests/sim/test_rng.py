@@ -1,0 +1,59 @@
+"""Unit tests for seeded randomness."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng, derive_seed
+
+
+def test_same_seed_same_stream():
+    a, b = SeededRng(42), SeededRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a, b = SeededRng(1), SeededRng(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_streams_are_independent_of_consumption():
+    parent1 = SeededRng(9)
+    parent2 = SeededRng(9)
+    _ = [parent2.random() for _ in range(100)]  # consume parent2 heavily
+    # children depend only on the seed + label, not on parent consumption
+    assert parent1.child("x").random() == parent2.child("x").random()
+
+
+def test_child_labels_distinguish():
+    parent = SeededRng(9)
+    assert parent.child("a").seed != parent.child("b").seed
+
+
+def test_derive_seed_stable_value():
+    # pinned: if this changes, every recorded experiment seed shifts
+    assert derive_seed(0, "x") == derive_seed(0, "x")
+    assert derive_seed(0, "x") != derive_seed(0, "y")
+    assert derive_seed(0, "x", 1) != derive_seed(0, "x", 2)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_derive_seed_in_range(master, label):
+    seed = derive_seed(master, label)
+    assert 0 <= seed < 2**64
+
+
+def test_uniform_within_bounds():
+    rng = SeededRng(5)
+    for _ in range(100):
+        x = rng.uniform(2.0, 3.0)
+        assert 2.0 <= x <= 3.0
+
+
+def test_sample_and_choice_and_shuffle():
+    rng = SeededRng(5)
+    pop = list(range(10))
+    sampled = rng.sample(pop, 3)
+    assert len(set(sampled)) == 3 and set(sampled) <= set(pop)
+    assert rng.choice(pop) in pop
+    items = list(range(10))
+    rng.shuffle(items)
+    assert sorted(items) == pop

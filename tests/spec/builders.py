@@ -1,0 +1,52 @@
+"""A tiny builder DSL for hand-crafting snapshot histories in tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.tags import Snapshot, Timestamp, ValueTs
+from repro.spec.history import SCAN, UPDATE, History, OpRecord
+
+
+class HistoryBuilder:
+    """Craft histories with explicit timings and snapshot contents.
+
+    Scans specify, per segment, the (value, useq) visible — the builder
+    synthesizes matching ValueTs metadata (tag = useq, which is a valid
+    single-writer timestamp assignment).
+    """
+
+    def __init__(self, n: int) -> None:
+        self.h = History(n)
+        self.n = n
+
+    def update(
+        self, node: int, value: Any, t0: float, t1: float | None
+    ) -> OpRecord:
+        op = self.h.invoke(node, UPDATE, (value,), t0)
+        if t1 is not None:
+            self.h.respond(op, t1, "ACK")
+        return op
+
+    def scan(
+        self,
+        node: int,
+        t0: float,
+        t1: float,
+        segs: dict[int, tuple[Any, int]],
+    ) -> OpRecord:
+        """``segs[j] = (value, useq)`` for non-⊥ segments."""
+        op = self.h.invoke(node, SCAN, (), t0)
+        meta: list[ValueTs | None] = [None] * self.n
+        values: list[Any] = [None] * self.n
+        for j, (value, useq) in segs.items():
+            meta[j] = ValueTs(value, Timestamp(useq, j), useq)
+            values[j] = value
+        self.h.respond(op, t1, Snapshot(values=tuple(values), meta=tuple(meta)))
+        return op
+
+    def done(self) -> History:
+        return self.h
+
+
+__all__ = ["HistoryBuilder"]

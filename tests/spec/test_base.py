@@ -1,0 +1,72 @@
+"""Unit tests for bases (Definitions 4 and 5)."""
+
+from repro.spec.base import (
+    base_restricted,
+    comparable,
+    is_prefix_closed,
+    legal_against_history,
+    scan_base,
+)
+
+from .builders import HistoryBuilder
+
+
+def test_scan_base_builds_per_writer_prefixes():
+    b = HistoryBuilder(3)
+    b.update(0, "a1", 0.0, 1.0)
+    b.update(0, "a2", 2.0, 3.0)
+    b.update(1, "b1", 0.0, 1.0)
+    sc = b.scan(2, 4.0, 5.0, {0: ("a2", 2), 1: ("b1", 1)})
+    base = scan_base(sc)
+    # seeing a2 (useq 2) pulls in a1 (useq 1) by prefix closure
+    assert base == {(0, 1), (0, 2), (1, 1)}
+
+
+def test_empty_scan_has_empty_base():
+    b = HistoryBuilder(2)
+    sc = b.scan(0, 0.0, 1.0, {})
+    assert scan_base(sc) == frozenset()
+
+
+def test_base_restricted():
+    base = frozenset({(0, 1), (0, 2), (1, 1)})
+    assert base_restricted(base, 0) == {1, 2}
+    assert base_restricted(base, 1) == {1}
+    assert base_restricted(base, 9) == frozenset()
+
+
+def test_comparable():
+    a = frozenset({(0, 1)})
+    bb = frozenset({(0, 1), (1, 1)})
+    c = frozenset({(1, 1)})
+    assert comparable(a, bb) and comparable(bb, a)
+    assert comparable(a, a)
+    assert not comparable(a, c)
+
+
+def test_prefix_closure_detection():
+    assert is_prefix_closed(frozenset({(0, 1), (0, 2)}))
+    assert not is_prefix_closed(frozenset({(0, 2)}))
+    assert is_prefix_closed(frozenset())
+
+
+def test_legality_against_history_value_mismatch():
+    b = HistoryBuilder(2)
+    b.update(0, "real-value", 0.0, 1.0)
+    sc = b.scan(1, 2.0, 3.0, {0: ("wrong-value", 1)})
+    err = legal_against_history(sc, b.done())
+    assert err is not None and "does not match" in err
+
+
+def test_legality_against_history_unknown_update():
+    b = HistoryBuilder(2)
+    sc = b.scan(1, 2.0, 3.0, {0: ("ghost", 1)})
+    err = legal_against_history(sc, b.done())
+    assert err is not None and "unknown update" in err
+
+
+def test_legality_ok():
+    b = HistoryBuilder(2)
+    b.update(0, "v", 0.0, 1.0)
+    sc = b.scan(1, 2.0, 3.0, {0: ("v", 1)})
+    assert legal_against_history(sc, b.done()) is None

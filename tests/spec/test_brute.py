@@ -1,0 +1,102 @@
+"""Cross-validation: the polynomial checkers agree with brute force.
+
+Hypothesis generates small random histories (random op intervals, random
+snapshot contents); the constraint-graph decision must coincide with the
+exhaustive search for both linearizability and sequential consistency.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tags import Snapshot, Timestamp, ValueTs
+from repro.spec.brute import (
+    brute_force_linearizable,
+    brute_force_sequentially_consistent,
+)
+from repro.spec.history import SCAN, UPDATE, History
+from repro.spec.order import order_check
+
+from .builders import HistoryBuilder
+
+
+# ----------------------------------------------------------------------
+# random history generator
+# ----------------------------------------------------------------------
+@st.composite
+def histories(draw, n=3, max_ops=6):
+    """Random small histories: per node a sequence of non-overlapping ops;
+    scan contents drawn from possible (writer, useq) combinations."""
+    num_ops = draw(st.integers(min_value=1, max_value=max_ops))
+    # build per-node sequential timelines
+    h = History(n)
+    update_counts = [0] * n
+    clock = [0.0] * n
+    for _ in range(num_ops):
+        node = draw(st.integers(min_value=0, max_value=n - 1))
+        t0 = clock[node] + draw(st.floats(min_value=0.01, max_value=2.0))
+        dur = draw(st.floats(min_value=0.01, max_value=3.0))
+        t1 = t0 + dur
+        clock[node] = t1
+        if draw(st.booleans()):
+            update_counts[node] += 1
+            op = h.invoke(node, UPDATE, (f"v{node}.{update_counts[node]}",), t0)
+            h.respond(op, t1, "ACK")
+        else:
+            op = h.invoke(node, SCAN, (), t0)
+            meta: list = [None] * n
+            values: list = [None] * n
+            for j in range(n):
+                if update_counts[j] == 0:
+                    continue
+                seen = draw(st.integers(min_value=0, max_value=update_counts[j]))
+                if seen > 0:
+                    values[j] = f"v{j}.{seen}"
+                    meta[j] = ValueTs(values[j], Timestamp(seen, j), seen)
+            h.respond(op, t1, Snapshot(values=tuple(values), meta=tuple(meta)))
+    return h
+
+
+@settings(max_examples=120, deadline=None)
+@given(histories())
+def test_order_check_matches_brute_force_linearizability(h):
+    fast = order_check(h, real_time=True).ok
+    slow = brute_force_linearizable(h)
+    assert fast == slow
+
+
+@settings(max_examples=120, deadline=None)
+@given(histories())
+def test_order_check_matches_brute_force_sc(h):
+    fast = order_check(h, real_time=False).ok
+    slow = brute_force_sequentially_consistent(h)
+    assert fast == slow
+
+
+@settings(max_examples=80, deadline=None)
+@given(histories())
+def test_linearizable_implies_sc(h):
+    if order_check(h, real_time=True).ok:
+        assert order_check(h, real_time=False).ok
+
+
+def test_brute_force_rejects_large_histories():
+    b = HistoryBuilder(2)
+    t = 0.0
+    for i in range(12):
+        b.update(0, f"v{i}", t, t + 0.5)
+        t += 1.0
+    with pytest.raises(ValueError, match="limited"):
+        brute_force_linearizable(b.done())
+
+
+def test_brute_force_simple_cases():
+    b = HistoryBuilder(2)
+    b.update(0, "a", 0.0, 1.0)
+    b.scan(1, 2.0, 3.0, {0: ("a", 1)})
+    assert brute_force_linearizable(b.done())
+
+    b2 = HistoryBuilder(2)
+    b2.update(0, "a", 0.0, 1.0)
+    b2.scan(1, 2.0, 3.0, {})
+    assert not brute_force_linearizable(b2.done())
+    assert brute_force_sequentially_consistent(b2.done())

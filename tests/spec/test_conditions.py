@@ -1,0 +1,87 @@
+"""Tests for the (A0)-(A4) condition checker: one crafted violation per
+condition, plus clean histories that must pass."""
+
+from repro.spec.conditions import check_atomicity_conditions
+
+from .builders import HistoryBuilder
+
+
+def conditions(history):
+    return {v.condition for v in check_atomicity_conditions(history)}
+
+
+def test_clean_history_passes(small_history):
+    assert check_atomicity_conditions(small_history) == []
+
+
+def test_sequential_updates_and_scans_pass():
+    b = HistoryBuilder(3)
+    b.update(0, "a", 0.0, 1.0)
+    b.scan(1, 2.0, 3.0, {0: ("a", 1)})
+    b.update(1, "b", 4.0, 5.0)
+    b.scan(2, 6.0, 7.0, {0: ("a", 1), 1: ("b", 1)})
+    assert check_atomicity_conditions(b.done()) == []
+
+
+def test_a0_read_from_the_future():
+    b = HistoryBuilder(2)
+    sc = b.scan(1, 0.0, 1.0, {0: ("v", 1)})  # scan ends at t=1
+    b.update(0, "v", 2.0, 3.0)  # update invoked after
+    assert "A0" in conditions(b.done())
+
+
+def test_a1_incomparable_bases():
+    b = HistoryBuilder(4)
+    b.update(0, "a", 0.0, 10.0)  # concurrent updates
+    b.update(1, "b", 0.0, 10.0)
+    b.scan(2, 0.0, 10.0, {0: ("a", 1)})  # sees only a
+    b.scan(3, 0.0, 10.0, {1: ("b", 1)})  # sees only b
+    assert "A1" in conditions(b.done())
+
+
+def test_a2_missing_preceding_update():
+    b = HistoryBuilder(2)
+    b.update(0, "a", 0.0, 1.0)  # completed before the scan starts
+    b.scan(1, 2.0, 3.0, {})  # ...but the scan misses it
+    assert "A2" in conditions(b.done())
+
+
+def test_a3_scan_bases_not_monotone():
+    b = HistoryBuilder(3)
+    b.update(0, "a", 0.0, 10.0)  # concurrent with both scans
+    sc1 = b.scan(1, 1.0, 2.0, {0: ("a", 1)})  # first scan sees it
+    sc2 = b.scan(2, 3.0, 4.0, {})  # later scan does not
+    got = conditions(b.done())
+    assert "A3" in got
+
+
+def test_a4_base_not_closed_under_precedes():
+    b = HistoryBuilder(3)
+    b.update(0, "a", 0.0, 1.0)  # a precedes bb
+    b.update(1, "bb", 2.0, 3.0)
+    # scan concurrent with everything returns bb but not a
+    b.scan(2, 2.5, 4.0, {1: ("bb", 1)})
+    assert "A4" in conditions(b.done())
+
+
+def test_prefix_violation_detected():
+    b = HistoryBuilder(2)
+    b.update(0, "a1", 0.0, 1.0)
+    b.update(0, "a2", 2.0, 3.0)
+    sc = b.scan(1, 4.0, 5.0, {0: ("a2", 2)})
+    # sabotage the snapshot: remove the prefix element by rebuilding meta
+    # (the builder's scan_base is prefix-closed by construction, so test
+    # the checker's legality path instead: wrong value)
+    b2 = HistoryBuilder(2)
+    b2.update(0, "a1", 0.0, 1.0)
+    sc2 = b2.scan(1, 2.0, 3.0, {0: ("WRONG", 1)})
+    assert "legal" in conditions(b2.done())
+
+
+def test_pending_update_visible_in_scan_is_allowed():
+    """A crashed writer's value may appear: no A-violations arise from the
+    update never responding."""
+    b = HistoryBuilder(2)
+    b.update(0, "ghostly", 0.0, None)  # pending forever
+    b.scan(1, 5.0, 6.0, {0: ("ghostly", 1)})
+    assert check_atomicity_conditions(b.done()) == []

@@ -1,0 +1,76 @@
+"""The SSO tight conditions: crafted violations per condition, plus the
+machine-checked tightness property — (S1)-(S4) hold iff the exact
+sequential-consistency decision procedure accepts."""
+
+from hypothesis import given, settings
+
+from repro.spec.order import order_check
+from repro.spec.sso_conditions import check_sso_conditions
+
+from .builders import HistoryBuilder
+from .test_brute import histories
+
+
+def codes(history):
+    return {v.condition for v in check_sso_conditions(history)}
+
+
+def test_clean_history_passes(small_history):
+    assert check_sso_conditions(small_history) == []
+
+
+def test_stale_cross_node_read_is_fine_for_sso():
+    """The defining difference from the ASO conditions: a remote stale
+    read violates A2 but no S-condition."""
+    b = HistoryBuilder(2)
+    b.update(0, "v", 0.0, 1.0)
+    b.scan(1, 2.0, 3.0, {})
+    assert check_sso_conditions(b.done()) == []
+
+
+def test_s1_incomparable_bases():
+    b = HistoryBuilder(4)
+    b.update(0, "a", 0.0, 10.0)
+    b.update(1, "b", 0.0, 10.0)
+    b.scan(2, 0.0, 10.0, {0: ("a", 1)})
+    b.scan(3, 0.0, 10.0, {1: ("b", 1)})
+    assert "S1" in codes(b.done())
+
+
+def test_s2a_own_update_missed():
+    b = HistoryBuilder(2)
+    b.update(0, "mine", 0.0, 1.0)
+    b.scan(0, 2.0, 3.0, {})  # forgets its own write
+    assert "S2a" in codes(b.done())
+
+
+def test_s2b_own_scans_not_monotone():
+    b = HistoryBuilder(3)
+    b.update(1, "x", 0.0, 10.0)  # concurrent updater
+    b.scan(0, 1.0, 2.0, {1: ("x", 1)})
+    b.scan(0, 3.0, 4.0, {})  # shrinks
+    assert "S2b" in codes(b.done())
+
+
+def test_s3_own_future_read():
+    b = HistoryBuilder(2)
+    b.scan(0, 0.0, 1.0, {0: ("later", 1)})  # reads its own future update
+    b.update(0, "later", 2.0, 3.0)
+    assert "S3" in codes(b.done())
+
+
+def test_s4_wrong_value():
+    b = HistoryBuilder(2)
+    b.update(0, "real", 0.0, 1.0)
+    b.scan(1, 2.0, 3.0, {0: ("fake", 1)})
+    assert "S4" in codes(b.done())
+
+
+@settings(max_examples=150, deadline=None)
+@given(histories())
+def test_conditions_are_tight(h):
+    """(S1)-(S4) empty ⟺ sequentially consistent (the machine-checked
+    analogue of the tech report's tight-conditions theorem)."""
+    cond_ok = check_sso_conditions(h) == []
+    exact_ok = order_check(h, real_time=False).ok
+    assert cond_ok == exact_ok
