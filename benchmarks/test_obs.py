@@ -1,0 +1,48 @@
+"""Benchmarks: observability overhead.
+
+The tracer's contract is "zero overhead when disabled, cheap enough to
+leave on when enabled".  These benchmarks pin both halves: the NullSink
+run should be indistinguishable from the untraced baseline, and the
+full MemorySink run (every send/deliver/phase event recorded) should
+stay within a small constant factor of it.
+"""
+
+from repro.core import EqAso
+from repro.obs import MemorySink, NullSink, Tracer
+from repro.runtime.cluster import Cluster
+
+SCHEDULE = [(0.5 * i, i, "update", (f"v{i}",)) for i in range(3)] + [
+    (1.0, 3, "scan", ()),
+    (6.0, 4, "scan", ()),
+]
+
+
+def _run(tracer):
+    cluster = Cluster(EqAso, n=5, f=2, tracer=tracer)
+    handles = cluster.run_ops(SCHEDULE)
+    assert all(h.done for h in handles)
+    return len(handles)
+
+
+def test_untraced_baseline(benchmark):
+    assert benchmark(lambda: _run(None)) == 5
+
+
+def test_null_sink_is_free(benchmark):
+    def run():
+        tracer = Tracer(NullSink())
+        count = _run(tracer)
+        assert tracer.events_emitted == 0
+        return count
+
+    assert benchmark(run) == 5
+
+
+def test_memory_sink_full_trace(benchmark):
+    def run():
+        tracer = Tracer(MemorySink())
+        count = _run(tracer)
+        assert tracer.events_emitted > 500
+        return count
+
+    assert benchmark(run) == 5

@@ -91,16 +91,19 @@ class DelporteAso(ProtocolNode):
         seq = self._seq
         key = (self.node_id, seq)
         self._write_acks[key] = set()
+        self.phase_enter("write")
         self.broadcast(MWrite(self.node_id, seq, value))
         yield WaitUntil(
             lambda: len(self._write_acks[key]) >= self.quorum_size,
             f"delporte write ack quorum (seq {seq})",
         )
+        self.phase_exit("write")
         del self._write_acks[key]
         return "ACK"
 
     def scan(self) -> OpGen:
         """SCAN(): collect until n−f replicas confirm the exact view."""
+        self.phase_enter("stable-collect")
         while True:
             self.collect_rounds += 1
             reqid = next(self._reqids)
@@ -118,6 +121,7 @@ class DelporteAso(ProtocolNode):
             for v in acks.values():
                 self.reg = _merge(self.reg, v)
             if confirmations >= self.quorum_size and self.reg == query_view:
+                self.phase_exit("stable-collect")
                 return self._to_snapshot(query_view)
             # else: a concurrent update moved the object; go around again
 

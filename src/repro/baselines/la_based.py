@@ -163,7 +163,9 @@ class ClassifierLA(_ClassifierCore, ProtocolNode):
             raise RuntimeError("one-shot LA: node already proposed")
         self._proposed = True
         atoms = frozenset((self.node_id, i, v) for i, v in enumerate(values))
+        self.phase_enter("classifier")
         decided = yield from self._classifier_run("oneshot", atoms)
+        self.phase_exit("classifier")
         return frozenset(a[2] for a in decided)
 
     def on_message(self, src: int, payload: Any) -> None:
@@ -232,10 +234,13 @@ class LatticeAso(_ClassifierCore, ProtocolNode):
         # a new agreement per operation, as in the AHR layering)
         iid = (self.node_id, next(self._instance))
         proposal = frozenset(self.known | self.committed)
+        self.phase_enter("agree")
         agreed = yield from self._classifier_run(iid, proposal)
+        self.phase_exit("agree")
         candidate = set(agreed) | self.known | self.committed
         # commit-until-stable: return only a view confirmed verbatim by a
         # quorum of monotone `committed` replicas
+        self.phase_enter("commit")
         while True:
             self.commit_rounds += 1
             reqid = next(self._commit_reqids)
@@ -254,6 +259,7 @@ class LatticeAso(_ClassifierCore, ProtocolNode):
                 candidate |= got
                 self.committed |= got
             if stable >= self.quorum_size and frozenset(candidate) == want:
+                self.phase_exit("commit")
                 return want
 
     # -- server thread ------------------------------------------------------

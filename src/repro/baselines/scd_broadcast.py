@@ -189,22 +189,28 @@ class ScdAso(ScdBroadcastNode):
     def update(self, value: Any) -> OpGen:
         """UPDATE(v): scd(write); await local delivery; scd(sync barrier)."""
         self._useq += 1
+        self.phase_enter("write-deliver")
         wmid = self.scd_broadcast(ScdWrite(self.node_id, self._useq, value))
         yield WaitUntil(
             lambda: self.is_delivered(wmid), f"scd delivery of write {wmid}"
         )
+        self.phase_exit("write-deliver")
+        self.phase_enter("sync")
         smid = self.scd_broadcast(ScdSync(self.node_id, next(self._nonce)))
         yield WaitUntil(
             lambda: self.is_delivered(smid), f"scd delivery of update sync {smid}"
         )
+        self.phase_exit("sync")
         return "ACK"
 
     def scan(self) -> OpGen:
         """SCAN(): scd(sync); return the local array at its delivery."""
+        self.phase_enter("sync")
         smid = self.scd_broadcast(ScdSync(self.node_id, next(self._nonce)))
         yield WaitUntil(
             lambda: self.is_delivered(smid), f"scd delivery of scan sync {smid}"
         )
+        self.phase_exit("sync")
         values, meta = [], []
         for j, (seq, value) in enumerate(self.reg):
             if seq == 0:

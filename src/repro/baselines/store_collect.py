@@ -92,11 +92,13 @@ class StoreCollectObject(ProtocolNode):
         seq = self._store_seq
         self.knowledge |= view
         self._store_acks[seq] = set()
+        self.phase_enter("store")
         self.broadcast(MStore(seq, frozenset(view)))
         yield WaitUntil(
             lambda: len(self._store_acks[seq]) >= self.quorum_size,
             f"store ack quorum (seq {seq})",
         )
+        self.phase_exit("store")
         del self._store_acks[seq]
         return "ACK"
 
@@ -118,6 +120,7 @@ class StoreCollectObject(ProtocolNode):
     def stable_collect(self) -> OpGen:
         """Collect until ``n − f`` replicas confirm the exact merged view
         (each concurrent store can force one extra round → O(n·D))."""
+        self.phase_enter("stable-collect")
         while True:
             self.collect_rounds += 1
             reqid = next(self._reqids)
@@ -134,6 +137,7 @@ class StoreCollectObject(ProtocolNode):
             for view in acks.values():
                 self.knowledge |= view
             if confirmations >= self.quorum_size and self.knowledge == query_view:
+                self.phase_exit("stable-collect")
                 return query_view
 
     # -- server thread ----------------------------------------------------

@@ -111,7 +111,9 @@ class ByzantineAso(EqAso):
         vt = ValueTs(value, ts, self._useq)
         self._disseminate_value(vt)
         if self.enable_phase0:
+            self.phase_enter("phase0")
             yield from self._lattice(r)
+            self.phase_exit("phase0")
         r2 = max(r + 1, self.max_tag)
         yield from self._lattice_renewal(r2)
         return "ACK"
@@ -122,17 +124,22 @@ class ByzantineAso(EqAso):
     # lattice renewal with verified borrowing
     # ==================================================================
     def _lattice_renewal(self, r: int) -> Generator[WaitUntil, None, View]:
-        while True:
-            status, view = yield from self._lattice(r)
-            if status:
-                return view
-            # Not good ⇒ maxTag advanced past r.  Prefer a verified borrow
-            # (covers any tag in [r, maxTag]); otherwise renew at maxTag.
-            borrowed = self._find_verified_borrow(r, self.max_tag)
-            if borrowed is not None:
-                self.indirect_views_used += 1
-                return borrowed
-            r = self.max_tag
+        self.phase_enter("lattice")
+        try:
+            while True:
+                status, view = yield from self._lattice(r)
+                if status:
+                    return view
+                # Not good ⇒ maxTag advanced past r.  Prefer a verified
+                # borrow (covers any tag in [r, maxTag]); otherwise renew
+                # at maxTag.
+                borrowed = self._find_verified_borrow(r, self.max_tag)
+                if borrowed is not None:
+                    self.indirect_views_used += 1
+                    return borrowed
+                r = self.max_tag
+        finally:
+            self.phase_exit("lattice")
 
     def _broadcast_good_la(self, tag: int, view: View) -> None:
         ids = frozenset(view)

@@ -114,7 +114,9 @@ class EqAso(ProtocolNode):
         self._seen.add(vt)
         self.broadcast(MValue(vt))  # line 6
         if self.enable_phase0:
+            self.phase_enter("phase0")
             yield from self._lattice(r)  # line 7 (phase 0)
+            self.phase_exit("phase0")
         r2 = max(r + 1, self.max_tag)  # line 8
         yield from self._lattice_renewal(r2)  # line 9 (view discarded)
         return "ACK"  # line 10
@@ -131,6 +133,7 @@ class EqAso(ProtocolNode):
     def _lattice(self, r: int) -> Generator[WaitUntil, None, tuple[bool, View]]:
         """Lattice(r) — lines 14-21."""
         self.lattice_ops_started += 1
+        self.phase_enter("lattice-op")
         yield from self._write_tag(r)  # line 14
         holder: list[View] = []
 
@@ -141,7 +144,10 @@ class EqAso(ProtocolNode):
             holder.append(hit[1])
             return True
 
+        self.phase_enter("eq-wait")
         yield WaitUntil(eq_holds, f"EQ(V^<={r}, {self.node_id})")  # line 15
+        self.phase_exit("eq-wait")
+        self.phase_exit("lattice-op")
         # lines 16-21 run atomically: the runtime resumes us synchronously
         # and no handler executes until the next yield.
         v_star = holder[-1]  # line 16
@@ -159,6 +165,13 @@ class EqAso(ProtocolNode):
 
     def _lattice_renewal(self, r: int) -> Generator[WaitUntil, None, View]:
         """LatticeRenewal(r) — lines 22-30."""
+        self.phase_enter("lattice")
+        try:
+            return (yield from self._renewal_body(r))
+        finally:
+            self.phase_exit("lattice")
+
+    def _renewal_body(self, r: int) -> Generator[WaitUntil, None, View]:
         for phase in (1, 2, 3):  # line 22
             status, view = yield from self._lattice(r)  # line 23
             if status:
@@ -182,10 +195,12 @@ class EqAso(ProtocolNode):
             return bool(views)
 
         self._borrow_tag_in_use = tag  # pin against gc_tag_window pruning
+        self.phase_enter("borrow-wait")
         try:
             yield WaitUntil(borrowable, f"goodLA({tag}) from some node")
         finally:
             self._borrow_tag_in_use = None
+            self.phase_exit("borrow-wait")
         views = self._good_la_views[tag]
         j = min(views)  # deterministic choice of "some node j"
         self.indirect_views_used += 1
@@ -196,11 +211,13 @@ class EqAso(ProtocolNode):
         reqid = next(self._reqids)
         acks: dict[int, int] = {}
         self._read_acks[reqid] = acks
+        self.phase_enter("readTag")
         self.broadcast(MReadTag(reqid))  # line 35
         yield WaitUntil(
             lambda: len(acks) >= self.quorum_size,
             f"readTag quorum (req {reqid})",
         )  # line 36
+        self.phase_exit("readTag")
         del self._read_acks[reqid]
         return max(acks.values())  # line 37
 
@@ -209,11 +226,13 @@ class EqAso(ProtocolNode):
         reqid = next(self._reqids)
         ackers: set[int] = set()
         self._write_acks[reqid] = ackers
+        self.phase_enter("writeTag")
         self.broadcast(MWriteTag(tag, reqid))  # line 38
         yield WaitUntil(
             lambda: len(ackers) >= self.quorum_size,
             f"writeTag({tag}) quorum (req {reqid})",
         )  # line 39
+        self.phase_exit("writeTag")
         del self._write_acks[reqid]
 
     # ==================================================================

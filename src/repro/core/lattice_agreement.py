@@ -80,7 +80,9 @@ class EarlyStoppingLA(ProtocolNode):
         def quorum_acked() -> bool:
             return all(len(self._acks[el]) >= self.quorum_size for el in elements)
 
+        self.phase_enter("disseminate")
         yield WaitUntil(quorum_acked, "LA proposal ack quorum")
+        self.phase_exit("disseminate")
 
         holder: list[frozenset] = []
 
@@ -91,7 +93,9 @@ class EarlyStoppingLA(ProtocolNode):
             holder.append(hit[1])
             return True
 
+        self.phase_enter("eq-wait")
         yield WaitUntil(eq_holds, f"EQ(V, {self.node_id}) for LA decision")
+        self.phase_exit("eq-wait")
         decided = holder[-1]
         return frozenset(el.item for el in decided)
 

@@ -47,11 +47,13 @@ class OneShotAso(ProtocolNode):
         vt = ValueTs(value, Timestamp(1, self.node_id), useq=1)
         self._seen.add(vt)
         self._acks[vt] = set()
+        self.phase_enter("value-ack")
         self.broadcast(MValue(vt))
         yield WaitUntil(
             lambda: len(self._acks[vt]) >= self.quorum_size,
             f"one-shot update ack quorum for {vt!r}",
         )
+        self.phase_exit("value-ack")
         return "ACK"
 
     def scan(self) -> OpGen:
@@ -65,7 +67,9 @@ class OneShotAso(ProtocolNode):
             holder.append(hit[1])
             return True
 
+        self.phase_enter("eq-wait")
         yield WaitUntil(pred, f"EQ(V, {self.node_id})")
+        self.phase_exit("eq-wait")
         return extract(holder[-1], self.n)
 
     # ------------------------------------------------------------------

@@ -161,6 +161,44 @@ def _exp_la(**kw) -> ExperimentResult:
     )
 
 
+def _exp_trace(**kw) -> ExperimentResult:
+    """A fully traced failure-free EQ-ASO run: per-phase decomposition and
+    the metrics registry — the worked example of EXPERIMENTS.md's
+    Observability section (export the same trace to JSONL with
+    ``python -m repro.obs demo``)."""
+    from repro.core import EqAso
+    from repro.harness.metrics import collect_registry
+    from repro.obs import MemorySink, Tracer
+    from repro.runtime.cluster import Cluster
+
+    n = kw.get("n", 5)
+    f = (n - 1) // 2
+    tracer = Tracer(MemorySink())
+    cluster = Cluster(EqAso, n=n, f=f, tracer=tracer)
+    schedule = [(0.5 * i, i, "update", (f"v{i}",)) for i in range(n - 2)]
+    schedule.append((1.0, n - 2, "scan", ()))
+    schedule.append((6.0, n - 1, "scan", ()))
+    handles = cluster.run_ops(schedule)
+    registry = collect_registry(handles, cluster.D, spans=tracer.spans)
+    lines = [f"{tracer.events_emitted} events, {len(tracer.spans)} spans"]
+    for span in tracer.spans:
+        parts = ", ".join(
+            f"{name}={dur:.2f}D"
+            for name, dur in span.phase_durations(cluster.D).items()
+        )
+        lines.append(
+            f"op {span.op_id} node {span.node} {span.kind}: "
+            f"{span.latency / cluster.D:.2f}D [{parts}] msgs={span.messages}"
+        )
+    lines.extend(registry.format_lines())
+    return ExperimentResult(
+        "trace",
+        "traced EQ-ASO run — per-phase latency accounting (obs subsystem)",
+        {"tracer": tracer, "registry": registry},
+        lines,
+    )
+
+
 def _exp_messages(**kw) -> ExperimentResult:
     from repro.harness.messages import format_message_costs, message_costs
 
@@ -185,6 +223,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablations": _exp_ablations,
     "la": _exp_la,
     "messages": _exp_messages,
+    "trace": _exp_trace,
 }
 
 

@@ -27,7 +27,7 @@ from repro.harness.adversary import (
     staircase_cluster,
     staircase_victim_latency,
 )
-from repro.harness.metrics import summarize
+from repro.harness.metrics import collect_registry
 from repro.runtime.cluster import Cluster
 
 ALGORITHMS: dict[str, Callable] = {
@@ -112,7 +112,8 @@ def _amortized(factory, kind: str, k: int, ops: int) -> float:
         chain = [("scan", ())] * ops
     handles = cluster.chain_ops(scenario.victim, chain, start=2.0)
     cluster.run_until_complete(handles)
-    return summarize(handles, cluster.D).mean
+    registry = collect_registry(handles, cluster.D)
+    return registry.histogram(f"latency_D.{kind}").mean
 
 
 def run_table1(

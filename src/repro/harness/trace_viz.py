@@ -5,6 +5,13 @@ as the classic distributed-systems space-time diagram: one column per
 node, time flowing downward, message kinds abbreviated — the tool used to
 eyeball the Figure 2 choreography and to debug adversarial schedules.
 
+The rendering engine and the message labels live in the observability
+layer (:mod:`repro.obs.query`, :mod:`repro.obs.describe`), so the same
+diagram is available offline from an exported JSONL trace via
+``python -m repro.obs render``; this module remains as the convenience
+wrapper over a live cluster's :class:`~repro.net.network.DeliveryRecord`
+list.
+
 Example output (one row per delivery)::
 
     t=0.05  [2]--value:v/1-->[0]
@@ -18,31 +25,20 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from repro.obs.describe import describe_payload
+from repro.obs.query import render_spacetime
 from repro.runtime.cluster import Cluster
 
 
 def _describe(payload: Any) -> str:
-    """Short human label for a wire message."""
-    from repro.core import messages as m
+    """Short human label for a wire message.
 
-    match payload:
-        case m.MValue(vt):
-            return f"value:{vt.value}/{vt.ts.tag}"
-        case m.MWriteTag(tag, _):
-            return f"writeTag:{tag}"
-        case m.MWriteAck(tag, _):
-            return f"writeAck:{tag}"
-        case m.MEchoTag(tag):
-            return f"echoTag:{tag}"
-        case m.MReadTag(_):
-            return "readTag"
-        case m.MReadAck(tag, _):
-            return f"readAck:{tag}"
-        case m.MGoodLA(tag):
-            return f"goodLA:{tag}"
-        case _:
-            name = type(payload).__name__
-            return name[1:] if name.startswith("M") else name
+    Delegates to :func:`repro.obs.describe.describe_payload`, which
+    covers the core Algorithm 1 messages, the Byzantine variants'
+    ``HAVE``/``byzGoodLA`` extras, and falls back to a generic
+    ``Kind(field=value, ...)`` label for anything else — no message kind
+    ever renders blank."""
+    return describe_payload(payload)
 
 
 def render_trace(
@@ -63,23 +59,19 @@ def render_trace(
     """
     if not cluster.network._record_trace:
         raise ValueError("cluster was not created with record_net_trace=True")
-    lines: list[str] = []
-    shown = 0
-    for rec in cluster.network.trace:
-        if until is not None and rec.delivered_at > until:
-            continue
-        desc = _describe(rec.payload)
-        if include is not None and not any(s in desc for s in include):
-            continue
-        if shown >= max_lines:
-            lines.append(f"... ({len(cluster.network.trace) - shown} more)")
-            break
-        arrow = "--X" if rec.dropped else "-->"
-        lines.append(
-            f"t={rec.delivered_at:7.3f}  [{rec.src}]--{desc}{arrow}[{rec.dst}]"
-        )
-        shown += 1
-    return "\n".join(lines)
+    events = [
+        {
+            "kind": "drop" if rec.dropped else "deliver",
+            "t": rec.delivered_at,
+            "src": rec.src,
+            "dst": rec.dst,
+            "msg": describe_payload(rec.payload),
+        }
+        for rec in cluster.network.trace
+    ]
+    return render_spacetime(
+        events, until=until, include=include, max_lines=max_lines
+    )
 
 
 def render_operations(cluster: Cluster) -> str:

@@ -49,6 +49,7 @@ class Network:
         deliver: Callable[[int, int, Any], None],
         *,
         record_trace: bool = False,
+        tracer: Any = None,
     ) -> None:
         """
         Args:
@@ -61,6 +62,10 @@ class Network:
                 time (the cluster routes it into the node's handler).
             record_trace: keep a full :class:`DeliveryRecord` list
                 (memory-heavy; off by default, on in figure regenerators).
+            tracer: optional :class:`repro.obs.Tracer`; send/deliver/drop
+                events are emitted through it.  A disabled tracer is
+                normalized to ``None`` so the hot path pays one ``is not
+                None`` test and nothing else.
         """
         self.sim = sim
         self.n = n
@@ -74,6 +79,7 @@ class Network:
         self.sent_by_node: list[int] = [0] * n
         self.trace: list[DeliveryRecord] = []
         self._record_trace = record_trace
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
 
     @property
     def D(self) -> float:
@@ -95,6 +101,8 @@ class Network:
         self._last_delivery[pair] = deliver_at
         self.messages_sent += 1
         self.sent_by_node[src] += 1
+        if self._tracer is not None:
+            self._tracer.on_send(src, dst, payload)
         self.sim.schedule_at(
             deliver_at,
             lambda: self._arrive(src, dst, payload, now),
@@ -114,6 +122,8 @@ class Network:
             self.send(src, dst, payload)
         if crash_now:
             self.crash_plan.mark_crashed(src)
+            if self._tracer is not None:
+                self._tracer.on_crash(src, detail="mid-broadcast crash")
 
     # ------------------------------------------------------------------
     def _arrive(self, src: int, dst: int, payload: Any, sent_at: float) -> None:
@@ -124,8 +134,12 @@ class Network:
             )
         if dropped:
             self.messages_dropped += 1
+            if self._tracer is not None:
+                self._tracer.on_drop(src, dst, payload)
             return
         self.messages_delivered += 1
+        if self._tracer is not None:
+            self._tracer.on_deliver(src, dst, payload)
         self._deliver(dst, src, payload)
 
 

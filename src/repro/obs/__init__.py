@@ -1,0 +1,58 @@
+"""Observability: structured events, operation spans, metrics, traces.
+
+The subsystem has four pieces, all deterministic and all zero-overhead
+when disabled:
+
+- **event log** (:mod:`repro.obs.events`, :mod:`repro.obs.tracer`):
+  typed send/deliver/drop/crash/op/phase events with sim-time and Lamport
+  clocks, emitted by the network and the cluster driver into a sink;
+- **operation spans** (:mod:`repro.obs.spans`): per-operation phase
+  accounting — a failure-free EQ-ASO scan decomposes into
+  ``readTag ≈ 2D`` plus ``lattice ≈ 2D``;
+- **metrics registry** (:mod:`repro.obs.metrics`): counters and
+  percentile histograms the harnesses aggregate into;
+- **trace export & query** (:mod:`repro.obs.export`,
+  :mod:`repro.obs.query`, ``python -m repro.obs``): byte-stable JSONL
+  traces plus a CLI to filter, aggregate and render them.
+
+Quickstart::
+
+    from repro.core import EqAso
+    from repro.obs import MemorySink, Tracer, export_jsonl
+    from repro.runtime.cluster import Cluster
+
+    tracer = Tracer(MemorySink(), meta={"algorithm": "EqAso", "D": 1.0})
+    cluster = Cluster(EqAso, n=5, f=2, tracer=tracer)
+    cluster.run_ops([(0.0, 0, "update", ("x",)), (5.0, 1, "scan", ())])
+    export_jsonl(tracer, "trace.jsonl")
+"""
+
+from repro.obs.describe import describe_payload
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.export import dumps_trace, export_jsonl, read_trace, write_trace
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, percentiles
+from repro.obs.query import Trace, render_spacetime
+from repro.obs.spans import OpSpan, PhaseRecord
+from repro.obs.tracer import EventSink, MemorySink, NullSink, Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "Counter",
+    "EventSink",
+    "Histogram",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "OpSpan",
+    "PhaseRecord",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "describe_payload",
+    "dumps_trace",
+    "export_jsonl",
+    "percentiles",
+    "read_trace",
+    "render_spacetime",
+    "write_trace",
+]

@@ -1,0 +1,197 @@
+"""CLI: ``python -m repro.obs`` — inspect and produce execution traces.
+
+Subcommands::
+
+    demo     run a seeded 5-node EQ-ASO workload with tracing and export
+             the JSONL trace (the worked example in EXPERIMENTS.md)
+    summary  aggregate counts of an exported trace
+    ops      per-operation accounting (latency in D, phases, messages)
+    phases   mean per-phase decomposition for one operation kind
+    filter   select events by node / kind / message / op / time window
+    render   the text space-time diagram (trace_viz, but file-based)
+
+Examples::
+
+    python -m repro.obs demo -o /tmp/eq.jsonl
+    python -m repro.obs ops /tmp/eq.jsonl
+    python -m repro.obs phases /tmp/eq.jsonl --kind scan
+    python -m repro.obs filter /tmp/eq.jsonl --node 0 --kind send --msg writeTag
+    python -m repro.obs render /tmp/eq.jsonl --include value
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.query import Trace, render_spacetime
+
+
+def _demo(args: argparse.Namespace) -> int:
+    from repro.core import EqAso
+    from repro.obs.export import export_jsonl
+    from repro.obs.tracer import MemorySink, Tracer
+    from repro.runtime.cluster import Cluster
+
+    n, f = args.n, (args.n - 1) // 2
+    tracer = Tracer(
+        MemorySink(),
+        meta={"algorithm": "EqAso", "n": n, "f": f, "D": 1.0, "seed": args.seed},
+    )
+    cluster = Cluster(EqAso, n=n, f=f, tracer=tracer)
+    # the Figure-2 choreography, multi-shot: staggered updates then scans
+    schedule = [(0.5 * i, i, "update", (f"v{i}",)) for i in range(n - 2)]
+    schedule.append((1.0, n - 2, "scan", ()))
+    schedule.append((6.0, n - 1, "scan", ()))
+    cluster.run_ops(schedule)
+    cluster.run(until=cluster.sim.now + 3 * cluster.D)  # drain echo traffic
+    lines = export_jsonl(tracer, args.output)
+    print(f"wrote {args.output}: {lines} lines ({tracer.events_emitted} events, "
+          f"{len(tracer.spans)} spans)")
+    trace = Trace.load(args.output)
+    for kind in ("update", "scan"):
+        totals = trace.phase_totals(kind)
+        parts = ", ".join(f"{k}={v:.2f}D" for k, v in totals["phases_D"].items())
+        print(f"{kind}: {totals['ops']} ops, mean {totals['end_to_end_D']:.2f}D "
+              f"[{parts}]")
+    return 0
+
+
+def _summary(args: argparse.Namespace) -> int:
+    print("\n".join(Trace.load(args.trace).summary_lines()))
+    return 0
+
+
+def _ops(args: argparse.Namespace) -> int:
+    lines = Trace.load(args.trace).op_lines(
+        op_id=args.op, phases=not args.no_phases
+    )
+    print("\n".join(lines) if lines else "(no spans in trace)")
+    return 0
+
+
+def _phases(args: argparse.Namespace) -> int:
+    totals = Trace.load(args.trace).phase_totals(args.kind)
+    if totals["ops"] == 0:
+        which = "" if args.kind is None else f" of kind {args.kind!r}"
+        print(f"no completed operations{which} in trace", file=sys.stderr)
+        return 1
+    print(f"ops: {totals['ops']}")
+    print(f"end-to-end: {totals['end_to_end_D']:.2f}D")
+    for name, value in totals["phases_D"].items():
+        print(f"  {name:20s} {value:.2f}D")
+    covered = sum(totals["phases_D"].values())
+    print(f"  {'(sum of phases)':20s} {covered:.2f}D")
+    return 0
+
+
+def _filter(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    events = trace.filter(
+        node=args.node,
+        kind=args.kind,
+        msg=args.msg,
+        op_id=args.op,
+        since=args.since,
+        until=args.until,
+    )
+    for ev in events[: args.limit]:
+        extra = []
+        if ev.get("msg") is not None:
+            extra.append(f"[{ev['src']}]->[{ev['dst']}] {ev['msg']}")
+        if ev.get("op") is not None:
+            extra.append(f"op {ev.get('op_id')} {ev['op']}")
+        if ev.get("phase") is not None:
+            extra.append(f"phase {ev['phase']}")
+        if ev.get("detail") is not None:
+            extra.append(ev["detail"])
+        print(
+            f"t={ev['t']:7.3f} L={ev['lamport']:<5d} n{ev['node']:<3d} "
+            f"{ev['kind']:12s} " + " ".join(extra)
+        )
+    if len(events) > args.limit:
+        print(f"... ({len(events) - args.limit} more; raise --limit)")
+    return 0
+
+
+def _render(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    include = args.include if args.include else None
+    print(
+        render_spacetime(
+            trace.events,
+            until=args.until,
+            include=include,
+            max_lines=args.max_lines,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect and produce execution traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a traced EQ-ASO workload, export JSONL")
+    demo.add_argument("-o", "--output", default="eq_aso_trace.jsonl")
+    demo.add_argument("--n", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_demo)
+
+    summary = sub.add_parser("summary", help="aggregate counts of a trace")
+    summary.add_argument("trace")
+    summary.set_defaults(func=_summary)
+
+    ops = sub.add_parser("ops", help="per-operation latency/phase/message table")
+    ops.add_argument("trace")
+    ops.add_argument("--op", type=int, default=None, help="only this op id")
+    ops.add_argument("--no-phases", action="store_true")
+    ops.set_defaults(func=_ops)
+
+    phases = sub.add_parser("phases", help="mean per-phase decomposition")
+    phases.add_argument("trace")
+    phases.add_argument("--kind", default=None, help="operation kind (scan/update)")
+    phases.set_defaults(func=_phases)
+
+    filt = sub.add_parser("filter", help="select events")
+    filt.add_argument("trace")
+    filt.add_argument("--node", type=int, default=None)
+    filt.add_argument("--kind", default=None)
+    filt.add_argument("--msg", default=None, help="substring of the message label")
+    filt.add_argument("--op", type=int, default=None)
+    filt.add_argument("--since", type=float, default=None)
+    filt.add_argument("--until", type=float, default=None)
+    filt.add_argument("--limit", type=int, default=100)
+    filt.set_defaults(func=_filter)
+
+    render = sub.add_parser("render", help="text space-time diagram")
+    render.add_argument("trace")
+    render.add_argument("--until", type=float, default=None)
+    render.add_argument("--include", action="append", default=[])
+    render.add_argument("--max-lines", type=int, default=200)
+    render.set_defaults(func=_render)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    import json
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # piping into `head` is fine
+        return 0
+    except OSError as exc:  # unreadable/unwritable trace path
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, ValueError) as exc:  # not a trace file
+        source = getattr(args, "trace", getattr(args, "output", "trace"))
+        print(f"error: {source}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

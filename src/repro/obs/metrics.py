@@ -1,0 +1,222 @@
+"""Metrics registry: counters and percentile histograms.
+
+The harnesses used to pass raw latency lists around; this module gives
+them one vocabulary.  Everything is exact and deterministic — the
+histogram keeps its observations and computes nearest-rank percentiles,
+which is both reproducible across platforms and cheap at the scales the
+simulator produces (thousands of operations, not millions of requests).
+
+Naming convention used by :meth:`MetricsRegistry.observe_op`:
+
+- ``ops.<kind>`` / ``ops.aborted`` — counters;
+- ``latency_D.<kind>`` — end-to-end latency in units of ``D``;
+- ``rounds.<kind>`` — the per-D round count (``latency / D``, the
+  paper's unit of time complexity);
+- ``messages.<kind>`` — messages the invoking node sent during the op;
+- ``phase_D.<kind>.<phase>`` — per-phase time in units of ``D`` (only
+  when spans are supplied).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.spans import OpSpan
+    from repro.runtime.cluster import OpHandle
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Exact histogram with nearest-rank percentiles."""
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def empty(self) -> bool:
+        return not self._values
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100])."""
+        if not self._values:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range [0, 100]")
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100 * len(self._values)))
+        return self._values[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return f"Histogram({self.name}: empty)"
+        return (
+            f"Histogram({self.name}: n={self.count} mean={self.mean:.2f} "
+            f"p50={self.p50:.2f} p95={self.p95:.2f} p99={self.p99:.2f})"
+        )
+
+
+class MetricsRegistry:
+    """A namespace of counters and histograms for one experiment run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        ctr = self.counters.get(name)
+        if ctr is None:
+            ctr = self.counters[name] = Counter(name)
+        return ctr
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        return hist
+
+    # ------------------------------------------------------------------
+    def observe_op(self, handle: "OpHandle", D: float) -> None:
+        """Record one completed (or aborted) operation handle."""
+        if handle.aborted:
+            self.counter("ops.aborted").inc()
+            return
+        if not handle.done:
+            return
+        kind = handle.kind
+        lat = handle.latency / D
+        self.counter(f"ops.{kind}").inc()
+        self.histogram(f"latency_D.{kind}").observe(lat)
+        self.histogram(f"rounds.{kind}").observe(lat)
+        self.histogram(f"messages.{kind}").observe(handle.messages_sent)
+
+    def observe_span(self, span: "OpSpan", D: float) -> None:
+        """Record per-phase accounting from one closed span."""
+        if span.aborted or span.t_resp is None:
+            return
+        for name, dur in span.phase_durations(D).items():
+            self.histogram(f"phase_D.{span.kind}.{name}").observe(dur)
+
+    @classmethod
+    def from_handles(
+        cls,
+        handles: Iterable["OpHandle"],
+        D: float,
+        *,
+        spans: Iterable["OpSpan"] = (),
+    ) -> "MetricsRegistry":
+        reg = cls()
+        for handle in handles:
+            reg.observe_op(handle, D)
+        for span in spans:
+            reg.observe_span(span, D)
+        return reg
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def format_lines(self) -> list[str]:
+        lines = []
+        for name, ctr in sorted(self.counters.items()):
+            lines.append(f"{name:36s} {ctr.value}")
+        for name, hist in sorted(self.histograms.items()):
+            if hist.empty:
+                lines.append(f"{name:36s} (empty)")
+                continue
+            lines.append(
+                f"{name:36s} n={hist.count:<5d} mean={hist.mean:8.2f} "
+                f"p50={hist.p50:8.2f} p95={hist.p95:8.2f} "
+                f"p99={hist.p99:8.2f} max={hist.maximum:8.2f}"
+            )
+        return lines
+
+
+def percentiles(values: Iterable[float]) -> Mapping[str, float]:
+    """Convenience: one-shot p50/p95/p99 of a value list."""
+    hist = Histogram()
+    hist.observe_many(values)
+    return {"p50": hist.p50, "p95": hist.p95, "p99": hist.p99}
+
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "percentiles"]

@@ -47,6 +47,9 @@ class OpHandle:
     sent_at_inv: int = 0
     sent_at_resp: int = 0
     callbacks: list[Callable[["OpHandle"], None]] = field(default_factory=list)
+    #: observability span (:class:`repro.obs.OpSpan`); ``None`` unless the
+    #: cluster was built with an enabled tracer
+    span: Any = None
 
     @property
     def t_inv(self) -> float:
@@ -119,6 +122,10 @@ class _OpRunner:
         handle.sent_at_resp = cluster.network.sent_by_node[self.node_id]
         if handle.record is not None:
             cluster.history.respond(handle.record, cluster.sim.now, result)
+        if handle.span is not None:
+            cluster._tracer.op_end(
+                handle.span, messages=handle.messages_sent, result=result
+            )
         cluster._runners[self.node_id] = None
         for fn in handle.callbacks:
             fn(handle)
@@ -137,6 +144,12 @@ class Cluster:
         delay_model: adversary-controlled delay assignment.
         crash_plan: crash adversary (``CrashPlan.none()`` by default).
         record_net_trace: keep per-delivery records (figure regenerators).
+        tracer: optional :class:`repro.obs.Tracer`.  When enabled, the
+            cluster emits operation/crash events, opens a span per
+            operation and installs the phase hook on every node; a
+            disabled tracer (no sink / :class:`repro.obs.NullSink`) is
+            normalized to ``None``, so disabled tracing costs nothing and
+            cannot perturb the schedule.
     """
 
     def __init__(
@@ -149,10 +162,15 @@ class Cluster:
         delay_model: DelayModel | None = None,
         crash_plan: CrashPlan | None = None,
         record_net_trace: bool = False,
+        tracer: Any = None,
     ) -> None:
         self.n = n
         self.f = f
         self.sim = Simulator()
+        self.tracer = tracer
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        if self._tracer is not None:
+            self._tracer.bind(self.sim)
         self.crash_plan = crash_plan if crash_plan is not None else CrashPlan.none()
         self.delay_model = delay_model or ConstantDelay(D)
         self.network = Network(
@@ -162,9 +180,17 @@ class Cluster:
             self.crash_plan,
             self._deliver,
             record_trace=record_net_trace,
+            tracer=self._tracer,
         )
         self.history = History(n)
         self.nodes: list[ProtocolNode] = [factory(i, n, f) for i in range(n)]
+        if self._tracer is not None:
+            for node in self.nodes:
+                node._phase_hook = self._tracer.phase
+            self._tracer.meta.setdefault("algorithm", type(self.nodes[0]).__name__)
+            self._tracer.meta.setdefault("n", n)
+            self._tracer.meta.setdefault("f", f)
+            self._tracer.meta.setdefault("D", self.delay_model.D)
         self._runners: list[_OpRunner | None] = [None] * n
         self._started = False
         for node_id, time in self.crash_plan.timed_crashes():
@@ -193,6 +219,8 @@ class Cluster:
     def crash(self, node_id: int) -> None:
         """Crash a node now: it stops sending/receiving/executing."""
         self.crash_plan.mark_crashed(node_id)
+        if self._tracer is not None:
+            self._tracer.on_crash(node_id)
         self.nodes[node_id].outbox.clear()
         runner = self._runners[node_id]
         if runner is not None:
@@ -287,6 +315,8 @@ class Cluster:
                 node_id, handle.kind, handle.args, self.sim.now
             )
         handle.sent_at_inv = self.network.sent_by_node[node_id]
+        if self._tracer is not None:
+            handle.span = self._tracer.op_begin(node_id, handle.kind, handle.args)
         runner = _OpRunner(self, node_id, gen, handle)
         self._runners[node_id] = runner
         runner.advance()
@@ -295,6 +325,11 @@ class Cluster:
         runner.handle.aborted = True
         if runner.handle.record is not None:
             self.history.abort(runner.handle.record)
+        if runner.handle.span is not None:
+            sent = self.network.sent_by_node[runner.node_id]
+            self._tracer.op_abort(
+                runner.handle.span, messages=sent - runner.handle.sent_at_inv
+            )
         if self._runners[runner.node_id] is runner:
             self._runners[runner.node_id] = None
         for fn in runner.handle.callbacks:  # settled-callbacks fire on abort too

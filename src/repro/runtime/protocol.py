@@ -63,6 +63,10 @@ class ProtocolNode(ABC):
         self.n = n
         self.f = f
         self.outbox: list[_Send | _Broadcast] = []
+        #: observability hook ``(node_id, phase_name, entering) -> None``,
+        #: installed by a runtime when tracing is enabled; ``None`` keeps
+        #: the phase annotations below free (one attribute read per call).
+        self._phase_hook: Callable[[int, str, bool], None] | None = None
 
     # -- fault-tolerance arithmetic -------------------------------------
     @property
@@ -87,6 +91,22 @@ class ProtocolNode(ABC):
             d for d in range(self.n) if include_self or d != self.node_id
         )
         self.outbox.append(_Broadcast(payload, dests))
+
+    # -- observability ----------------------------------------------------
+    def phase_enter(self, name: str) -> None:
+        """Mark the start of a protocol phase of the *current* client
+        operation (e.g. ``"readTag"``).  No-op unless a runtime installed
+        a phase hook; protocol code calls this unconditionally."""
+        hook = self._phase_hook
+        if hook is not None:
+            hook(self.node_id, name, True)
+
+    def phase_exit(self, name: str) -> None:
+        """Mark the end of a protocol phase (pairs with
+        :meth:`phase_enter`; unmatched exits are tolerated)."""
+        hook = self._phase_hook
+        if hook is not None:
+            hook(self.node_id, name, False)
 
     # -- protocol hooks ---------------------------------------------------
     def on_start(self) -> None:

@@ -87,8 +87,17 @@ class Simulator:
         self._queue.cancel(event)
 
     def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
-        """Register a hook called before each event executes (debug/trace)."""
+        """Register a hook called before each event executes (debug/trace).
+
+        This is the kernel's feed into the observability layer: a
+        :class:`repro.obs.Tracer` attached via ``attach_kernel`` logs
+        scheduler events through here."""
         self._trace_hooks.append(hook)
+
+    def remove_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Detach a previously registered trace hook (idempotent)."""
+        if hook in self._trace_hooks:
+            self._trace_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # execution

@@ -4,7 +4,14 @@ import math
 
 import pytest
 
-from repro.harness.metrics import LatencyStats, by_kind, growth_exponent, summarize
+from repro.harness.metrics import (
+    EMPTY_STATS,
+    LatencyStats,
+    by_kind,
+    collect_registry,
+    growth_exponent,
+    summarize,
+)
 from repro.runtime.cluster import OpHandle
 from repro.spec.history import History, UPDATE
 
@@ -38,6 +45,26 @@ def test_summarize_skips_incomplete():
 def test_summarize_empty():
     stats = summarize([], D=1.0)
     assert stats.count == 0 and math.isnan(stats.mean)
+    # the empty case is explicit, not NaN-poisoned formatting
+    assert stats.empty
+    assert stats == EMPTY_STATS
+    assert str(stats) == "n=0 (empty)"
+    assert stats.total == 0.0 and math.isnan(stats.p95)
+
+
+def test_summarize_percentiles():
+    hs = [handle(i % 8, "scan", 0.0, float(i + 1)) for i in range(20)]
+    stats = summarize(hs, D=1.0)
+    assert not stats.empty
+    assert stats.p50 == 10.0 and stats.p95 == 19.0 and stats.p99 == 20.0
+    assert "p95=19.00D" in str(stats)
+
+
+def test_collect_registry_from_handles():
+    hs = [handle(0, "scan", 0.0, 4.0), handle(1, "update", 0.0, 6.0)]
+    reg = collect_registry(hs, D=2.0)
+    assert reg.counter("ops.scan").value == 1
+    assert reg.histogram("latency_D.update").mean == 3.0
 
 
 def test_by_kind_partitions():

@@ -80,6 +80,7 @@ def test_registry_contains_all_experiments():
         "ablations",
         "la",
         "messages",
+        "trace",
     }
 
 

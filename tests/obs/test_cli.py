@@ -1,0 +1,102 @@
+"""The trace-query CLI (``python -m repro.obs``) end to end."""
+
+import re
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def demo_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs") / "eq.jsonl"
+    assert main(["demo", "-o", str(path), "--n", "5"]) == 0
+    return str(path)
+
+
+def test_demo_reports_phase_decomposition(demo_trace, capsys):
+    # re-run demo to capture its stdout (the fixture ran unobserved)
+    assert main(["demo", "-o", demo_trace, "--n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "spans" in out
+    # the demo prints the per-kind mean decomposition
+    assert re.search(r"scan: \d+ ops, mean 4\.00D", out)
+    assert "readTag=2.00D" in out and "lattice=2.00D" in out
+
+
+def test_summary(demo_trace, capsys):
+    assert main(["summary", demo_trace]) == 0
+    out = capsys.readouterr().out
+    assert "events by kind:" in out
+    assert "deliver" in out and "send" in out
+    assert "algorithm=EqAso" in out
+
+
+def test_ops_lists_every_span(demo_trace, capsys):
+    assert main(["ops", demo_trace]) == 0
+    out = capsys.readouterr().out
+    assert len(re.findall(r"^op \d+", out, re.M)) == 5
+    assert "readTag: 2.00D" in out
+
+
+def test_phases_sum_to_end_to_end(demo_trace, capsys):
+    assert main(["phases", demo_trace, "--kind", "scan"]) == 0
+    out = capsys.readouterr().out
+    e2e = float(re.search(r"end-to-end: ([\d.]+)D", out).group(1))
+    total = float(re.search(r"\(sum of phases\)\s+([\d.]+)D", out).group(1))
+    assert e2e == pytest.approx(total)
+    assert e2e == pytest.approx(4.0)
+
+
+def test_filter_by_node_kind_msg(demo_trace, capsys):
+    assert main(
+        ["filter", demo_trace, "--node", "0", "--kind", "send", "--msg", "writeTag"]
+    ) == 0
+    out = capsys.readouterr().out.strip()
+    assert out
+    for line in out.splitlines():
+        if line.startswith("..."):
+            continue
+        assert "send" in line and "writeTag" in line and "n0" in line
+
+
+def test_filter_time_window(demo_trace, capsys):
+    assert main(["filter", demo_trace, "--since", "1.0", "--until", "2.0"]) == 0
+    for line in capsys.readouterr().out.strip().splitlines():
+        if line.startswith("..."):
+            continue
+        t = float(re.search(r"t=\s*([\d.]+)", line).group(1))
+        assert 1.0 <= t <= 2.0
+
+
+def test_render_spacetime(demo_trace, capsys):
+    assert main(["render", demo_trace, "--include", "value"]) == 0
+    out = capsys.readouterr().out
+    assert re.search(r"t=\s*[\d.]+\s+\[\d\]--value:.*-->\[\d\]", out)
+
+
+def test_missing_trace_file_is_a_clean_error(capsys):
+    assert main(["summary", "/nonexistent/trace.jsonl"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "trace.jsonl" in err
+
+
+def test_corrupt_trace_file_is_a_clean_error(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["summary", str(bad)]) == 1
+    assert capsys.readouterr().err.startswith("error:")
+
+
+def test_phases_unknown_kind_reports_no_ops(demo_trace, capsys):
+    assert main(["phases", demo_trace, "--kind", "bogus"]) == 1
+    captured = capsys.readouterr()
+    assert "no completed operations of kind 'bogus'" in captured.err
+    assert "nan" not in captured.out
+
+
+def test_render_max_lines_truncates(demo_trace, capsys):
+    assert main(["render", demo_trace, "--max-lines", "3"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 4  # 3 shown + the "... (N more)" marker
+    assert out[-1].startswith("... (")
