@@ -23,7 +23,6 @@ import itertools
 from typing import Any, Hashable, Iterable
 
 from repro.apps.client import SnapshotClient
-from repro.core.tags import Snapshot
 from repro.runtime.cluster import Cluster
 
 

@@ -35,7 +35,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.core.tags import Snapshot, Timestamp, ValueTs, extract
+from repro.core.tags import Timestamp, ValueTs, extract
 from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
 
 Atom = tuple[int, int, Any]  # (proposer/writer, seq, value)

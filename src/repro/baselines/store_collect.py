@@ -107,11 +107,13 @@ class StoreCollectObject(ProtocolNode):
         reqid = next(self._reqids)
         acks: dict[int, frozenset[Triple]] = {}
         self._query_acks[reqid] = acks
+        self.phase_enter("collect")
         self.broadcast(MQuery(reqid, self.knowledge))
         yield WaitUntil(
             lambda: len(acks) >= self.quorum_size,
             f"collect quorum (req {reqid})",
         )
+        self.phase_exit("collect")
         del self._query_acks[reqid]
         for view in acks.values():
             self.knowledge |= view

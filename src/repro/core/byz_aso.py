@@ -44,13 +44,6 @@ from typing import Any, Generator
 
 from repro.core.byz_messages import MByzGoodLA, MHave
 from repro.core.eq_aso import EqAso, View
-from repro.core.messages import (
-    MEchoTag,
-    MReadAck,
-    MReadTag,
-    MWriteAck,
-    MWriteTag,
-)
 from repro.core.tags import Timestamp, ValueTs
 from repro.net.rbc import BrachaRBC
 from repro.runtime.protocol import OpGen, WaitUntil

@@ -26,8 +26,10 @@ class ByzantineSso(ByzantineAso):
     def _on_safe_view(self, view: View) -> None:
         self._safe_view |= view
 
-    def scan(self) -> OpGen:
-        """SCAN() — local, no communication, no waiting."""
+    def scan(self) -> OpGen:  # lint: ignore[RL005] — zero-communication op
+        """SCAN() — local, no communication, no waiting (contributes 0 to
+        every phase, so the per-D accounting stays total without
+        annotations)."""
         yield from ()
         return extract(frozenset(self._safe_view), self.n)
 

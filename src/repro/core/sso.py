@@ -48,8 +48,10 @@ class SsoFastScan(EqAso):
         # the running union equals the maximum view learned so far.
         self._safe_view |= view
 
-    def scan(self) -> OpGen:
-        """SCAN() — completes locally, sends nothing, never waits."""
+    def scan(self) -> OpGen:  # lint: ignore[RL005] — zero-communication op
+        """SCAN() — completes locally, sends nothing, never waits (its
+        span has no protocol phases by construction, so the per-D
+        accounting stays total without annotations)."""
         yield from ()  # a generator with zero waits: O(1) local step
         return extract(frozenset(self._safe_view), self.n)
 

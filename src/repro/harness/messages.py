@@ -21,7 +21,7 @@ from repro.core import EqAso, SsoFastScan
 from repro.runtime.cluster import Cluster
 
 
-@dataclass(slots=True)
+@dataclass(frozen=True, slots=True)
 class MessageCosts:
     algorithm: str
     n: int

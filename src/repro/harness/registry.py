@@ -211,6 +211,11 @@ def _exp_messages(**kw) -> ExperimentResult:
     )
 
 
+#: experiments whose workload/delay randomness is seed-driven; the CLI's
+#: shared ``--seed`` is threaded to exactly these (the rest are
+#: deterministic adversarial schedules and take no randomness)
+SEEDED_EXPERIMENTS: frozenset[str] = frozenset({"table1", "interference"})
+
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": _exp_table1,
     "fig1": _exp_fig1,
@@ -227,15 +232,37 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, **kwargs: Any) -> ExperimentResult:
-    """Run one registered experiment by name."""
+def run_experiment(
+    name: str, *, master_seed: int | None = None, **kwargs: Any
+) -> ExperimentResult:
+    """Run one registered experiment by name.
+
+    ``master_seed`` is the shared CLI seed: each seeded experiment gets
+    an independent child stream via :func:`repro.sim.rng.derive_seed`
+    (seed hygiene — adding an experiment never perturbs another's
+    randomness).  Experiments not in :data:`SEEDED_EXPERIMENTS` ignore
+    it.  An explicit ``seed=`` kwarg wins over ``master_seed``.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
+    if (
+        master_seed is not None
+        and name in SEEDED_EXPERIMENTS
+        and "seed" not in kwargs
+    ):
+        from repro.sim.rng import derive_seed
+
+        kwargs["seed"] = derive_seed(master_seed, "harness", name)
     return fn(**kwargs)
 
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "SEEDED_EXPERIMENTS",
+    "run_experiment",
+]

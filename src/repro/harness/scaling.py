@@ -204,7 +204,6 @@ def la_comparison(
     classifier pays its ``Θ(log n)`` quorum rounds regardless of ``k``
     (chains merely remove nodes from its quorums).
     """
-    from repro.harness.adversary import _doomed_payload_predicate
     from repro.net.delays import AdversarialDelay
 
     curves = []

@@ -117,20 +117,31 @@ def _amortized(factory, kind: str, k: int, ops: int) -> float:
 
 
 def run_table1(
-    *, k: int = 10, amortized_ops: int = 25, interference_n: int = 9
+    *,
+    k: int = 10,
+    amortized_ops: int = 25,
+    interference_n: int = 9,
+    seed: int = 42,
 ) -> list[Table1Row]:
-    """Measure all four Table I columns for all six algorithms."""
+    """Measure all four Table I columns for all six algorithms.
+
+    ``seed`` drives the interference wave's delay model (via
+    :mod:`repro.sim.rng`); the chain/staircase columns are adversarial
+    schedules and take no randomness.
+    """
     rows: list[Table1Row] = []
     for name, factory in ALGORITHMS.items():
         upd_worst = max(
             _victim_latency_under_chains(factory, "update", k),
             _victim_latency_under_interference(
-                factory, "update", n=interference_n
+                factory, "update", n=interference_n, seed=seed
             ),
         )
         scan_worst = max(
             _victim_latency_under_chains(factory, "scan", k),
-            _victim_latency_under_interference(factory, "scan", n=interference_n),
+            _victim_latency_under_interference(
+                factory, "scan", n=interference_n, seed=seed
+            ),
         )
         rows.append(
             Table1Row(

@@ -1,0 +1,41 @@
+"""repro.lint — AST-based protocol-safety linter for this repository.
+
+The measurement claims of the reproduction (byte-stable traces, Table I
+latency exponents, per-``D`` phase accounting) rest on code invariants
+that ordinary linters cannot see.  This package enforces them:
+
+- **RL001 determinism** — randomness/clock imports only in ``sim/rng``;
+  no unordered set iteration in protocol handlers and ops;
+- **RL002 sans-io purity** — no I/O/event-loop/threading imports in
+  ``core/``, ``baselines/``, ``net/``; communication only via the
+  ``send``/``broadcast`` outbox helpers;
+- **RL003 message immutability** — frozen wire-message dataclasses; no
+  mutation of received payloads in ``on_message``;
+- **RL004 quorum arithmetic** — thresholds derived from ``self.n``/
+  ``self.f``, integer arithmetic on counts;
+- **RL005 phase coverage** — every public protocol op annotates its
+  phases so spans decompose into units of ``D``.
+
+Run ``python -m repro.lint [paths]``; suppress one line with
+``# lint: ignore[RL001]`` plus a justification.  See the "Static
+analysis" section of README.md for the full catalog.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.report import format_json, format_text
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Severity",
+    "format_json",
+    "format_text",
+    "run_lint",
+]

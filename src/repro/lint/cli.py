@@ -1,0 +1,125 @@
+"""CLI: ``python -m repro.lint [paths] [options]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error (unknown rule
+id, missing path).  ``--select``/``--ignore`` take comma- or
+space-separated rule ids and override ``[tool.repro-lint]`` in
+pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.report import format_json, format_text
+from repro.lint.rules import ALL_RULES
+
+
+def _rule_ids(values: Sequence[str]) -> frozenset[str]:
+    ids: set[str] = set()
+    for value in values:
+        ids.update(part.strip() for part in value.split(",") if part.strip())
+    unknown = ids - set(ALL_RULES)
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(ALL_RULES))}"
+        )
+    return frozenset(ids)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based protocol-safety linter: determinism (RL001), "
+            "sans-io purity (RL002), message immutability (RL003), "
+            "quorum arithmetic (RL004), phase coverage (RL005)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="only run these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="skip these rule ids (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix hints from text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rid, rule in sorted(ALL_RULES.items()):
+        lines.append(f"{rid} [{rule.severity}] {rule.summary}")
+        lines.append(f"    fix: {rule.fix_hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # piping into `head` is fine
+        return 0
+
+
+def _main(argv: Sequence[str] | None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        select = None if args.select is None else _rule_ids(args.select)
+        ignore = None if args.ignore is None else _rule_ids(args.ignore)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = LintConfig.from_pyproject(pathlib.Path.cwd()).with_selection(
+        select=select, ignore=ignore
+    )
+    try:
+        result = run_lint(args.paths, config)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose_hints=not args.no_hints))
+    return 0 if result.ok else 1
+
+
+__all__ = ["build_parser", "list_rules", "main"]

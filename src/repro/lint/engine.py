@@ -1,0 +1,120 @@
+"""The lint engine: collect files, parse once, run rules, filter, sort.
+
+The engine makes two passes.  Pass one parses *every* target file and
+builds the :class:`ProjectIndex` — cross-module facts (the
+``ProtocolNode`` subclass closure) must see the whole tree before any
+rule runs.  Pass two runs each enabled rule over each module and filters
+the findings through the per-file suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import PARSE_ERROR_ID, Finding, Severity
+from repro.lint.project import ModuleInfo, ProjectIndex
+from repro.lint.rules import ALL_RULES
+from repro.lint.suppressions import extract_suppressions
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything a reporter needs about one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_files(
+    paths: Sequence[str | pathlib.Path], config: LintConfig
+) -> list[pathlib.Path]:
+    """Expand path arguments into the python files to lint.
+
+    Directories are walked recursively with the config's excludes
+    applied; a file given *explicitly* is always linted, even if an
+    exclude pattern matches it (so tests can lint bad fixtures).
+    """
+    out: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+
+    def add(p: pathlib.Path) -> None:
+        if p not in seen:
+            seen.add(p)
+            out.append(p)
+
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not config.is_excluded(str(sub)):
+                    add(sub)
+        elif path.suffix == ".py":
+            add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+def parse_modules(
+    files: Iterable[pathlib.Path],
+) -> tuple[list[ModuleInfo], list[Finding]]:
+    """Parse every file; unparseable ones become PARSE findings."""
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule_id=PARSE_ERROR_ID,
+                    severity=Severity.ERROR,
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    message=f"syntax error: {exc.msg}",
+                    fix_hint="fix the syntax error; the file was not analyzed",
+                )
+            )
+            continue
+        modules.append(ModuleInfo(path=str(path), tree=tree, source=text))
+    return modules, errors
+
+
+def run_lint(
+    paths: Sequence[str | pathlib.Path],
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint ``paths`` and return the filtered, sorted findings."""
+    cfg = config if config is not None else LintConfig()
+    files = collect_files(paths, cfg)
+    modules, findings = parse_modules(files)
+    index = ProjectIndex(modules)
+    rules = [r for rid, r in sorted(ALL_RULES.items()) if cfg.rule_enabled(rid)]
+    for module in modules:
+        suppressions = extract_suppressions(module.source)
+        if suppressions.skip_file:
+            continue
+        for rule in rules:
+            for finding in rule.check(module, index, cfg):
+                if not suppressions.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=findings,
+        files_checked=len(files),
+        rules_run=tuple(r.rule_id for r in rules),
+    )
+
+
+__all__ = ["LintResult", "collect_files", "parse_modules", "run_lint"]

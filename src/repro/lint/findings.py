@@ -1,0 +1,74 @@
+"""Finding and severity types shared by every lint rule.
+
+A finding is an immutable value: rules yield them, the engine filters
+them through suppressions and the rule selection, and the reporters
+render them.  Keeping the type frozen means a reporter can never mutate
+what a rule observed — the same discipline RL003 enforces for protocol
+messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both levels fail the build (the CLI exits nonzero on any finding);
+    the distinction exists so reports can rank output and so future
+    rules can ship as warnings first.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the ``findings[]`` element of the
+        ``--format json`` schema; see :mod:`repro.lint.report`)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RL001 message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+
+#: Pseudo rule id used for files the linter cannot parse.  It is not a
+#: real rule (it cannot be selected or suppressed away with an inline
+#: comment) because a file that does not parse cannot be analyzed at all.
+PARSE_ERROR_ID = "PARSE"
+
+
+__all__ = ["Finding", "PARSE_ERROR_ID", "Severity"]

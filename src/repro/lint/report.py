@@ -1,0 +1,61 @@
+"""Reporters: text for humans, JSON (schema v1) for CI and tooling.
+
+JSON schema (stable; bump ``version`` on breaking change)::
+
+    {
+      "version": 1,
+      "files_checked": <int>,
+      "rules_run": ["RL001", ...],
+      "counts": {"RL001": <int>, ...},       # only rules with findings
+      "findings": [
+        {"rule": str, "severity": "error"|"warning", "path": str,
+         "line": int, "col": int, "message": str, "fix_hint": str},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.engine import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(result: LintResult, *, verbose_hints: bool = True) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines: list[str] = []
+    last_hint = None
+    for finding in result.findings:
+        lines.append(finding.render())
+        if verbose_hints and finding.fix_hint and finding.fix_hint != last_hint:
+            lines.append(f"    hint: {finding.fix_hint}")
+            last_hint = finding.fix_hint
+    counts = Counter(f.rule_id for f in result.findings)
+    if counts:
+        per_rule = ", ".join(f"{rid}={n}" for rid, n in sorted(counts.items()))
+        lines.append(
+            f"{sum(counts.values())} finding(s) in "
+            f"{result.files_checked} file(s) [{per_rule}]"
+        )
+    else:
+        lines.append(f"ok: {result.files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    counts = Counter(f.rule_id for f in result.findings)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+__all__ = ["JSON_SCHEMA_VERSION", "format_json", "format_text"]

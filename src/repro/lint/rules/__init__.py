@@ -1,0 +1,31 @@
+"""Rule registry.
+
+Each rule family lives in its own module; registering here is all it
+takes to make a rule runnable, selectable and documented (``--list-rules``
+and the EXPERIMENTS.md catalog are generated from this table).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.rl001_determinism import DeterminismRule
+from repro.lint.rules.rl002_sansio import SansIoRule
+from repro.lint.rules.rl003_immutability import MessageImmutabilityRule
+from repro.lint.rules.rl004_quorum import QuorumArithmeticRule
+from repro.lint.rules.rl005_phases import PhaseCoverageRule
+
+#: rule id -> rule instance (rules are stateless; one instance serves
+#: every run)
+ALL_RULES: dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        DeterminismRule(),
+        SansIoRule(),
+        MessageImmutabilityRule(),
+        QuorumArithmeticRule(),
+        PhaseCoverageRule(),
+    )
+}
+
+
+__all__ = ["ALL_RULES", "Rule"]

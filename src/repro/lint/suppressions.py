@@ -1,0 +1,88 @@
+"""Inline suppression comments.
+
+Forms, modelled on ``noqa``/``type: ignore`` but namespaced so they
+cannot collide with other tools:
+
+- ``# lint: ignore[RL001]`` — suppress the named rule(s) on this
+  physical line (comma-separated ids allowed);
+- ``# lint: ignore`` — suppress every rule on this line;
+- ``# lint: ignore-next-line[RL001]`` — same, but for the following
+  physical line (for findings on a ``def``/``class`` line where a
+  trailing comment would not fit the justification);
+- ``# lint: skip-file`` — anywhere in the file, skip the whole file.
+
+Suppressions are extracted with :mod:`tokenize` rather than a regex over
+raw lines so that a string literal containing the magic text never
+counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore(?P<next>-next-line)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+    r"(?![\w-])"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+#: Sentinel meaning "every rule" in a per-line suppression set.
+ALL_RULES = "*"
+
+
+@dataclass(slots=True)
+class FileSuppressions:
+    """Suppression state for one source file."""
+
+    skip_file: bool = False
+    #: line number -> set of rule ids (or :data:`ALL_RULES`)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.skip_file:
+            return True
+        rules = self.by_line.get(finding.line)
+        if not rules:
+            return False
+        return ALL_RULES in rules or finding.rule_id in rules
+
+
+def extract_suppressions(source: str) -> FileSuppressions:
+    """Scan ``source`` for suppression comments.
+
+    Tokenization errors are ignored — a file that does not tokenize will
+    already be reported as a parse error by the engine, and a best-effort
+    prefix scan is still better than none.
+    """
+    out = FileSuppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE_RE.search(tok.string):
+                out.skip_file = True
+            match = _IGNORE_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            if match.group("next") is not None:
+                line += 1
+            rules = match.group("rules")
+            if rules is None:
+                out.by_line.setdefault(line, set()).add(ALL_RULES)
+            else:
+                ids = {r.strip() for r in rules.split(",") if r.strip()}
+                out.by_line.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+__all__ = ["ALL_RULES", "FileSuppressions", "extract_suppressions"]

@@ -29,16 +29,27 @@ from repro.obs.query import Trace, render_spacetime
 
 def _demo(args: argparse.Namespace) -> int:
     from repro.core import EqAso
+    from repro.net.delays import UniformDelay
     from repro.obs.export import export_jsonl
     from repro.obs.tracer import MemorySink, Tracer
     from repro.runtime.cluster import Cluster
+    from repro.sim.rng import SeededRng, derive_seed
 
     n, f = args.n, (args.n - 1) // 2
     tracer = Tracer(
         MemorySink(),
         meta={"algorithm": "EqAso", "n": n, "f": f, "D": 1.0, "seed": args.seed},
     )
-    cluster = Cluster(EqAso, n=n, f=f, tracer=tracer)
+    # --seed flows through a sim/rng child stream (never the `random`
+    # module); with --jitter 0 (the default) delays are the paper's
+    # lockstep worst case and the trace is byte-stable across runs.
+    delay_model = None
+    if args.jitter > 0.0:
+        rng = SeededRng(derive_seed(args.seed, "obs", "demo"))
+        delay_model = UniformDelay(
+            1.0, rng.child("delays"), lo=max(0.0, 1.0 - args.jitter)
+        )
+    cluster = Cluster(EqAso, n=n, f=f, tracer=tracer, delay_model=delay_model)
     # the Figure-2 choreography, multi-shot: staggered updates then scans
     schedule = [(0.5 * i, i, "update", (f"v{i}",)) for i in range(n - 2)]
     schedule.append((1.0, n - 2, "scan", ()))
@@ -138,7 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run a traced EQ-ASO workload, export JSONL")
     demo.add_argument("-o", "--output", default="eq_aso_trace.jsonl")
     demo.add_argument("--n", type=int, default=5)
-    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed, derived via sim/rng; same seed => byte-"
+        "identical trace (default: 0)",
+    )
+    demo.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="randomize delays in [1-jitter, 1]·D using the seed "
+        "(default: 0 = lockstep worst case)",
+    )
     demo.set_defaults(func=_demo)
 
     summary = sub.add_parser("summary", help="aggregate counts of a trace")

@@ -10,7 +10,6 @@ from repro.core import ByzantineAso, ByzantineSso, EqAso, SsoFastScan
 from repro.spec import (
     check_atomicity_conditions,
     check_sequentially_consistent,
-    is_linearizable,
     linearize,
 )
 from repro.spec.order import validate_serialization

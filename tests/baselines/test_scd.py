@@ -12,7 +12,6 @@ from repro.baselines.scd_broadcast import (
     MForward,
     ScdAso,
     ScdBroadcastNode,
-    ScdWrite,
 )
 from repro.net.delays import UniformDelay
 from repro.net.faults import BroadcastCrash, CrashPlan

@@ -6,7 +6,6 @@ from repro.core.eq_aso import EqAso
 from repro.core.messages import (
     MEchoTag,
     MGoodLA,
-    MReadTag,
     MValue,
     MWriteTag,
 )

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.lattice_agreement import EarlyStoppingLA, MLAValue
+from repro.core.lattice_agreement import EarlyStoppingLA
 from repro.net.delays import UniformDelay
 from repro.net.faults import CrashAtTime, CrashPlan
 from repro.runtime.cluster import Cluster

@@ -1,7 +1,5 @@
 """Tests for the adversary constructions."""
 
-import math
-
 import pytest
 
 from repro.core import EqAso

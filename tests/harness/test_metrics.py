@@ -6,7 +6,6 @@ import pytest
 
 from repro.harness.metrics import (
     EMPTY_STATS,
-    LatencyStats,
     by_kind,
     collect_registry,
     growth_exponent,

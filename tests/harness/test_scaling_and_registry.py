@@ -94,3 +94,27 @@ def test_registry_runs_fig_experiments():
     assert res.name == "fig2"
     assert any("op6" in line for line in res.lines)
     assert str(res).startswith("== fig2")
+
+
+def test_master_seed_threads_to_seeded_experiments_only():
+    """The shared --seed derives per-experiment child seeds via sim/rng;
+    unseeded experiments must accept (and ignore) master_seed."""
+    from repro.harness.registry import SEEDED_EXPERIMENTS
+
+    assert "interference" in SEEDED_EXPERIMENTS
+    res_a = run_experiment(
+        "interference", master_seed=1, ns=(5,), updates_per_writer=1
+    )
+    res_b = run_experiment(
+        "interference", master_seed=1, ns=(5,), updates_per_writer=1
+    )
+    res_c = run_experiment(
+        "interference", master_seed=2, ns=(5,), updates_per_writer=1
+    )
+    def ys(r):
+        return [c.ys for c in r.payload]
+    assert ys(res_a) == ys(res_b)
+    assert ys(res_a) != ys(res_c)
+    # deterministic experiments ignore the master seed entirely
+    fig = run_experiment("fig2", master_seed=123)
+    assert fig.name == "fig2"

@@ -1,0 +1,17 @@
+# lint fixture: RL002 violations — I/O imports in a sans-io path
+# (this file's path contains repro/core/) and direct outbox access.
+import asyncio
+import threading
+from socket import socket
+
+from repro.runtime.protocol import ProtocolNode
+
+
+class LeakyNode(ProtocolNode):
+    def on_message(self, src, payload):
+        self.outbox.append(payload)  # bypasses send()/broadcast()
+
+    def drain(self):
+        items = list(self.outbox)
+        self.outbox.clear()
+        return items, asyncio, threading, socket

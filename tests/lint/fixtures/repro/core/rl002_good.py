@@ -1,0 +1,8 @@
+# lint fixture: RL002-clean sans-io protocol module.
+from repro.runtime.protocol import ProtocolNode
+
+
+class PureNode(ProtocolNode):
+    def on_message(self, src, payload):
+        self.send(src, ("ack", payload))
+        self.broadcast(("seen", payload))

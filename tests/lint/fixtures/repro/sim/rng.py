@@ -1,0 +1,7 @@
+# lint fixture: the rng-module allowlist — this path ends in
+# repro/sim/rng.py, so importing random here is legal.
+import random
+
+
+def make(seed: int) -> random.Random:
+    return random.Random(seed)

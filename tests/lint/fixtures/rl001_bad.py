@@ -1,0 +1,32 @@
+# lint fixture: RL001 violations — nondeterministic imports and
+# unordered set iteration in protocol code.  Never imported at runtime.
+import random
+import time
+from datetime import datetime
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class BadNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.peers = set()
+
+    def on_message(self, src, payload):
+        for peer in self.peers:  # unordered iteration
+            self.send(peer, payload)
+        for x in {1, 2, 3}:  # set literal iteration
+            self.send(x, payload)
+
+    def op(self):
+        local = set(range(self.n))
+        for peer in local:  # locally-inferred set iteration
+            self.send(peer, "hi")
+        yield WaitUntil(lambda: True, "noop")
+        return datetime.now().timestamp() + time.time() + random.random()
+
+
+def jitter():
+    import os
+
+    return os.urandom(4)

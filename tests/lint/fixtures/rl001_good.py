@@ -1,0 +1,26 @@
+# lint fixture: RL001-clean — randomness injected via SeededRng, all
+# set iteration sorted.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+from repro.sim.rng import SeededRng
+
+
+class GoodNode(ProtocolNode):
+    def __init__(self, node_id, n, f, rng: SeededRng | None = None):
+        super().__init__(node_id, n, f)
+        self.peers = set()
+        self.rng = rng
+
+    def on_message(self, src, payload):
+        for peer in sorted(self.peers):
+            self.send(peer, payload)
+        for x in sorted({1, 2, 3}):
+            self.send(x, payload)
+
+    def op(self):
+        local = set(range(self.n))
+        for peer in sorted(local):
+            self.send(peer, "hi")
+        self.phase_enter("op")
+        yield WaitUntil(lambda: True, "noop")
+        self.phase_exit("op")
+        return self.rng.random() if self.rng is not None else 0.0

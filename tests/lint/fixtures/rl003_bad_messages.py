@@ -1,0 +1,29 @@
+# lint fixture: RL003 violations — unfrozen wire-message dataclasses
+# (filename contains "messages") and payload mutation in a handler.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode
+
+
+@dataclass
+class MPlain:
+    value: int
+
+
+@dataclass(slots=True)
+class MSlotted:
+    tag: int
+    reqid: int
+
+
+@dataclass(frozen=True, slots=True)
+class MFrozen:  # this one is fine
+    tag: int
+
+
+class MutatingNode(ProtocolNode):
+    def on_message(self, src, msg):
+        msg.tag = 99  # mutates the shared payload
+        msg.history[src] = True  # element assignment through the payload
+        del msg.reqid
+        self.send(src, msg)

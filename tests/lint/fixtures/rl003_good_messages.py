@@ -1,0 +1,24 @@
+# lint fixture: RL003-clean message module — every dataclass frozen,
+# handler builds new messages instead of mutating received ones.
+from dataclasses import dataclass, replace
+
+from repro.runtime.protocol import ProtocolNode
+
+
+@dataclass(frozen=True, slots=True)
+class MPing:
+    reqid: int
+
+
+@dataclass(frozen=True)
+class MPong:
+    reqid: int
+    hops: int
+
+
+class ForwardingNode(ProtocolNode):
+    def on_message(self, src, msg):
+        if isinstance(msg, MPong):
+            self.broadcast(replace(msg, hops=msg.hops + 1))
+        else:
+            self.send(src, MPong(reqid=msg.reqid, hops=0))

@@ -1,0 +1,22 @@
+# lint fixture: RL004 violations — magic-number quorums and float
+# arithmetic on counts.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class MagicQuorumNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = {}
+
+    def on_message(self, src, payload):
+        self.acks[src] = payload
+        if len(self.acks) >= 3:  # magic quorum: only right when n-f == 3
+            self.broadcast("done")
+        majority = self.n / 2  # float arithmetic on a count
+        if len(self.acks) > majority:
+            self.broadcast("majority")
+
+    def op(self):
+        self.phase_enter("op")
+        yield WaitUntil(lambda: 4 <= len(self.acks), "reversed magic quorum")
+        self.phase_exit("op")

@@ -1,0 +1,26 @@
+# lint fixture: RL004-clean quorum arithmetic — thresholds derived from
+# self.n/self.f with integer operations only.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class NamedQuorumNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = {}
+
+    def on_message(self, src, payload):
+        self.acks[src] = payload
+        if len(self.acks) >= self.quorum_size:  # n - f, named
+            self.broadcast("done")
+        majority = self.n // 2 + 1
+        if len(self.acks) >= majority:
+            self.broadcast("majority")
+        if len(self.acks) == 0:  # emptiness checks are not quorums
+            self.broadcast("idle")
+
+    def op(self):
+        self.phase_enter("op")
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.n - self.f, "named quorum"
+        )
+        self.phase_exit("op")

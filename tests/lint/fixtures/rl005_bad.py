@@ -1,0 +1,20 @@
+# lint fixture: RL005 violation — a public communicating op with no
+# phase annotations anywhere in its helper chain.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class UnphasedNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = {}
+
+    def on_message(self, src, payload):
+        self.acks[src] = payload
+
+    def op(self):
+        yield from self._round()
+        return len(self.acks)
+
+    def _round(self):
+        self.broadcast("ping")
+        yield WaitUntil(lambda: len(self.acks) >= self.quorum_size, "acks")

@@ -1,0 +1,34 @@
+# lint fixture: RL005-clean — one op annotates directly, the other
+# reaches phase_enter through a helper generator (transitive check),
+# and a subclass inherits the annotated helper from its base.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class PhasedNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = {}
+
+    def on_message(self, src, payload):
+        self.acks[src] = payload
+
+    def direct(self):
+        self.phase_enter("round")
+        self.broadcast("ping")
+        yield WaitUntil(lambda: len(self.acks) >= self.quorum_size, "acks")
+        self.phase_exit("round")
+
+    def delegated(self):
+        yield from self._round()
+        return len(self.acks)
+
+    def _round(self):
+        self.phase_enter("round")
+        self.broadcast("ping")
+        yield WaitUntil(lambda: len(self.acks) >= self.quorum_size, "acks")
+        self.phase_exit("round")
+
+
+class InheritingNode(PhasedNode):
+    def op(self):
+        yield from self._round()

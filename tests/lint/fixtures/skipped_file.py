@@ -1,0 +1,7 @@
+# lint: skip-file — generated-style fixture; the whole file is exempt
+import random
+import time
+
+
+def noise():
+    return random.random() + time.time()

@@ -1,0 +1,105 @@
+"""CLI contract: exit codes, --select/--ignore, JSON schema, text
+output, --list-rules, and the module entry point."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.report import JSON_SCHEMA_VERSION
+from repro.lint.rules import ALL_RULES
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+GOOD = str(FIXTURES / "rl001_good.py")
+BAD = str(FIXTURES / "rl001_bad.py")
+
+
+def test_exit_zero_on_clean_tree(capsys):
+    assert main([GOOD]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(capsys):
+    assert main([BAD]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+    assert "finding(s)" in out
+
+
+def test_exit_two_on_unknown_rule_id(capsys):
+    assert main([BAD, "--select", "RL999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(capsys):
+    assert main(["no/such/path_xyz"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_select_restricts_rules(capsys):
+    assert main([BAD, "--select", "RL004"]) == 0  # no RL004 findings there
+    assert main([BAD, "--select", "RL001,RL004"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "RL005" not in out
+
+
+def test_ignore_drops_rules(capsys):
+    # the bad RL001 fixture also trips RL005 (unphased public op)
+    assert main([BAD, "--ignore", "RL001", "--ignore", "RL005"]) == 0
+
+
+def test_json_schema(capsys):
+    assert main([BAD, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert set(payload["rules_run"]) == set(ALL_RULES)
+    assert payload["counts"]["RL001"] == len(
+        [f for f in payload["findings"] if f["rule"] == "RL001"]
+    )
+    required = {"rule", "severity", "path", "line", "col", "message", "fix_hint"}
+    for finding in payload["findings"]:
+        assert required <= finding.keys()
+        assert finding["severity"] in ("error", "warning")
+        assert finding["line"] >= 1
+
+
+def test_json_clean_tree(capsys):
+    assert main([GOOD, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["counts"] == {}
+
+
+def test_list_rules_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULES:
+        assert rule_id in out
+
+
+def test_no_hints_strips_hint_lines(capsys):
+    main([BAD, "--no-hints"])
+    assert "hint:" not in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("target,expected", [("src", 0), (None, 1)])
+def test_module_entry_point(tmp_path, target, expected):
+    """``python -m repro.lint`` works and propagates exit codes."""
+    if target is None:
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        target = str(bad)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", target],
+        capture_output=True,
+        text=True,
+        cwd="/root/repo",
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == expected, proc.stderr

@@ -1,0 +1,115 @@
+"""Positive/negative fixture coverage for every rule family.
+
+Each rule id has at least one *bad* fixture that must produce findings
+of exactly that id and one *good* fixture that must be clean — the
+acceptance bar for shipping a new rule.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: rule id -> (bad fixture, good fixture), relative to FIXTURES
+PAIRS = {
+    "RL001": ("rl001_bad.py", "rl001_good.py"),
+    "RL002": ("repro/core/rl002_bad.py", "repro/core/rl002_good.py"),
+    "RL003": ("rl003_bad_messages.py", "rl003_good_messages.py"),
+    "RL004": ("rl004_bad.py", "rl004_good.py"),
+    "RL005": ("rl005_bad.py", "rl005_good.py"),
+}
+
+
+def lint_fixture(name: str, **kwargs) -> list:
+    config = LintConfig().with_selection(**kwargs) if kwargs else LintConfig()
+    return run_lint([FIXTURES / name], config).findings
+
+
+@pytest.mark.parametrize("rule_id", sorted(PAIRS))
+def test_bad_fixture_flags_rule(rule_id):
+    bad, _ = PAIRS[rule_id]
+    findings = lint_fixture(bad, select=[rule_id])
+    assert findings, f"{bad} should violate {rule_id}"
+    assert {f.rule_id for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(PAIRS))
+def test_good_fixture_is_clean_for_rule(rule_id):
+    _, good = PAIRS[rule_id]
+    assert lint_fixture(good, select=[rule_id]) == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(PAIRS))
+def test_good_fixture_is_clean_under_all_rules(rule_id):
+    _, good = PAIRS[rule_id]
+    assert lint_fixture(good) == []
+
+
+# -- rule-specific behaviours ------------------------------------------
+
+
+def test_rl001_allows_rng_module_to_import_random():
+    assert lint_fixture("repro/sim/rng.py") == []
+
+
+def test_rl001_flags_each_banned_import_and_urandom():
+    findings = lint_fixture("rl001_bad.py", select=["RL001"])
+    messages = "\n".join(f.message for f in findings)
+    for name in ("random", "time", "datetime"):
+        assert f"{name!r}" in messages
+    assert "os.urandom" in messages
+
+
+def test_rl001_flags_set_iteration_sites():
+    findings = lint_fixture("rl001_bad.py", select=["RL001"])
+    iteration = [f for f in findings if "nondeterministic order" in f.message]
+    # self.peers, the {1,2,3} literal, and the local `local` variable
+    assert len(iteration) == 3
+
+
+def test_rl002_counts_io_imports_and_outbox_accesses():
+    findings = lint_fixture("repro/core/rl002_bad.py", select=["RL002"])
+    imports = [f for f in findings if "imports" in f.message]
+    outbox = [f for f in findings if "outbox" in f.message]
+    assert len(imports) == 3  # asyncio, threading, socket
+    assert len(outbox) == 3  # append, list(...), clear
+
+
+def test_rl003_flags_only_unfrozen_dataclasses():
+    findings = lint_fixture("rl003_bad_messages.py", select=["RL003"])
+    frozen = [f for f in findings if "not frozen" in f.message]
+    names = {f.message.split("'")[1] for f in frozen}
+    assert names == {"MPlain", "MSlotted"}  # MFrozen passes
+
+
+def test_rl003_flags_payload_mutation():
+    findings = lint_fixture("rl003_bad_messages.py", select=["RL003"])
+    mutations = [f for f in findings if "mutates" in f.message]
+    assert len(mutations) == 3  # attribute, element, del
+
+
+def test_rl004_flags_magic_and_float_thresholds():
+    findings = lint_fixture("rl004_bad.py", select=["RL004"])
+    assert len([f for f in findings if "magic quorum" in f.message]) == 2
+    assert len([f for f in findings if "float division" in f.message]) == 1
+
+
+def test_rl005_transitive_helper_resolution():
+    # delegated() in the good fixture only reaches phase_enter through
+    # _round(), and InheritingNode.op only through the inherited helper
+    assert lint_fixture("rl005_good.py", select=["RL005"]) == []
+    findings = lint_fixture("rl005_bad.py", select=["RL005"])
+    assert len(findings) == 1
+    assert "UnphasedNode.op" in findings[0].message
+
+
+def test_findings_are_sorted_and_carry_locations():
+    findings = lint_fixture("rl001_bad.py")
+    assert findings == sorted(findings, key=lambda f: f.sort_key())
+    assert all(f.line >= 1 and f.col >= 1 for f in findings)
+    assert all(f.path.endswith("rl001_bad.py") for f in findings)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.byzantine import ByzantineShell, Equivocator, Silent, byzantine_factory
+from repro.net.byzantine import Equivocator, Silent, byzantine_factory
 from repro.net.rbc import BrachaRBC, RInit
 from repro.runtime.cluster import Cluster
 from repro.runtime.protocol import ProtocolNode

@@ -20,6 +20,8 @@ class PingPong(ProtocolNode):
     def on_start(self):
         self.started = True
 
+    # toy protocol exercising the driver; not part of the per-D accounting
+    # lint: ignore-next-line[RL005]
     def ping(self):
         self._req += 1
         req = self._req
@@ -30,6 +32,8 @@ class PingPong(ProtocolNode):
         )
         return sorted(self.pongs[req])
 
+    # deliberately-stuck op for the StuckError liveness tests
+    # lint: ignore-next-line[RL005]
     def never(self):
         yield WaitUntil(lambda: False, "never satisfied")
         return None
