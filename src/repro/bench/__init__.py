@@ -1,0 +1,48 @@
+"""Macro-benchmark harness for the simulation substrate (``repro.bench``).
+
+``python -m repro.bench`` times the registry experiments end-to-end on
+both substrates — the fast path (burst-lane queue, batched broadcast,
+compiled send paths; see :mod:`repro.sim.fastpath`) and the reference
+slow path — and asserts that the paper-facing metrics they produce are
+**byte-identical**.  The speedup numbers are therefore meaningful: both
+runs executed the same schedule and computed the same Table I / figure
+data, only the substrate differed.
+
+The output report (``BENCH_macro.json`` by default) is the repo's
+performance trajectory: it is checked in, and CI re-runs a smoke-sized
+version of every case (``--smoke``) to catch substrate regressions and
+fast/slow divergence early.
+
+Cases
+-----
+
+``table1``
+    The lockstep Table I columns (failure-chain staircase + amortized
+    sequences, constant delay ``D``) — ``run_table1(interference=False)``.
+``scale_k``
+    SCAN latency vs ``k`` under the staircase, up to ``k = 21``.
+``interference``
+    The double-collect critique experiment (seeded *random* delays — the
+    adversarial case for the burst lane and batching; expect ~1x).
+``byzantine``
+    Honest latency vs the number of Byzantine nodes.
+"""
+
+from repro.bench.runner import (
+    CASES,
+    BenchCase,
+    BenchError,
+    FingerprintMismatch,
+    run_bench,
+)
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+
+__all__ = [
+    "CASES",
+    "BenchCase",
+    "BenchError",
+    "FingerprintMismatch",
+    "SCHEMA_VERSION",
+    "run_bench",
+    "validate_report",
+]

@@ -1,0 +1,93 @@
+"""CLI: ``python -m repro.bench [cases...] [options]``.
+
+Examples::
+
+    python -m repro.bench                       # all cases, full size
+    python -m repro.bench table1 scale_k        # just the lockstep cases
+    python -m repro.bench --smoke               # CI-sized, ~seconds
+    python -m repro.bench --validate BENCH_macro.json
+
+The report is written to ``--out`` (default ``BENCH_macro.json``) and a
+summary table is printed.  Exit status is non-zero if the fast and
+reference substrates disagree on any paper-facing metric, or if
+``--validate`` finds schema problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.runner import CASES, BenchError, format_report, run_bench
+from repro.bench.schema import validate_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="macro-benchmarks of the simulation substrate "
+        "(fast path vs reference path, with byte-identity checks)",
+    )
+    parser.add_argument(
+        "cases",
+        nargs="*",
+        metavar="case",
+        help=f"cases to run (default: all of {', '.join(sorted(CASES))})",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workloads, repeats=1 warmup=0 (unless overridden)",
+    )
+    parser.add_argument("--repeats", type=int, default=None, metavar="N")
+    parser.add_argument("--warmup", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--out",
+        default="BENCH_macro.json",
+        metavar="FILE",
+        help="report path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing report against the schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            report = json.loads(Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.validate}: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_report(report)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"{args.validate}: valid (schema v{report['schema_version']})")
+        return 1 if problems else 0
+
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    warmup = args.warmup if args.warmup is not None else (0 if args.smoke else 1)
+    try:
+        report = run_bench(
+            args.cases or None, smoke=args.smoke, repeats=repeats, warmup=warmup
+        )
+    except BenchError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_report(report)
+    if problems:  # internal consistency check — should be unreachable
+        for problem in problems:
+            print(f"generated report invalid: {problem}", file=sys.stderr)
+        return 1
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

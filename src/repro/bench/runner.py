@@ -1,0 +1,275 @@
+"""Measurement core of ``python -m repro.bench``.
+
+Each :class:`BenchCase` is a registry-experiment workload returning its
+paper-facing metrics as a JSON-serializable object.  :func:`run_bench`
+times the workload on both substrates (fast path, then the reference
+slow path via :func:`repro.sim.fastpath.set_fast_path`), counting
+executed kernel events and network messages through
+:data:`repro.sim.fastpath.STATS`, and asserts two invariants:
+
+- **determinism** — every repeat of a workload on one substrate yields
+  the identical metrics object (canonical-JSON fingerprint);
+- **substrate invariance** — fast and slow substrates yield the
+  identical metrics object.  This is the paper-facing byte-identity
+  guarantee: the fast path may only change *how long* an experiment
+  takes, never what it computes.
+
+A violated invariant raises :class:`FingerprintMismatch` — the bench is
+a correctness gate first and a stopwatch second.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import resource
+import time  # lint: ignore[RL001] host wall-clock for the stopwatch; simulation code never reads it
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bench.schema import SCHEMA_VERSION
+from repro.sim.fastpath import STATS, set_fast_path
+
+
+class BenchError(RuntimeError):
+    """A benchmark could not run (unknown case, bad configuration)."""
+
+
+class FingerprintMismatch(BenchError):
+    """Fast and slow substrates (or two repeats) disagreed on metrics."""
+
+
+@dataclass(frozen=True, slots=True)
+class BenchCase:
+    """One macro-benchmark: a workload at full and smoke (CI) size.
+
+    ``full``/``smoke`` return the workload's paper-facing metrics as a
+    JSON-serializable object; the runner fingerprints it for the
+    determinism and substrate-invariance checks.
+    """
+
+    name: str
+    description: str
+    lockstep: bool
+    full: Callable[[], Any]
+    smoke: Callable[[], Any]
+
+
+# ----------------------------------------------------------------------
+# case workloads (imports deferred so ``--validate`` stays instant)
+# ----------------------------------------------------------------------
+def _table1(**kw: Any) -> list[dict[str, Any]]:
+    from repro.harness.table1 import run_table1
+
+    return [row.as_dict() for row in run_table1(seed=7, interference=False, **kw)]
+
+
+def _curves(curves: Any) -> list[dict[str, Any]]:
+    return [
+        {
+            "label": c.label,
+            "xs": list(c.xs),
+            "ys": [round(y, 6) for y in c.ys],
+            "exponent": None if c.exponent is None else round(c.exponent, 6),
+        }
+        for c in curves
+    ]
+
+
+def _scale_k(**kw: Any) -> list[dict[str, Any]]:
+    from repro.harness.scaling import scale_k
+
+    return _curves(scale_k(**kw))
+
+
+def _interference(**kw: Any) -> list[dict[str, Any]]:
+    from repro.harness.scaling import interference_scan
+
+    return _curves(interference_scan(seed=7, **kw))
+
+
+def _byzantine(**kw: Any) -> list[dict[str, Any]]:
+    from repro.harness.byzantine import byz_scaling
+
+    return [
+        {
+            "behaviour": p.behaviour,
+            "num_byzantine": p.num_byzantine,
+            "n": p.n,
+            "update_mean_D": round(p.update_mean_D, 6),
+            "scan_mean_D": round(p.scan_mean_D, 6),
+            "linearizable": p.linearizable,
+        }
+        for p in byz_scaling(**kw)
+    ]
+
+
+CASES: dict[str, BenchCase] = {
+    "table1": BenchCase(
+        "table1",
+        "Table I lockstep columns (staircase worst case + amortized runs); "
+        "the interference column is the dedicated 'interference' case",
+        lockstep=True,
+        full=_table1,
+        smoke=lambda: _table1(k=4, amortized_ops=6),
+    ),
+    "scale_k": BenchCase(
+        "scale_k",
+        "SCAN latency vs k under the failure-chain staircase, k up to 21",
+        lockstep=True,
+        full=_scale_k,
+        smoke=lambda: _scale_k(ks=(1, 3, 6)),
+    ),
+    "interference": BenchCase(
+        "interference",
+        "double-collect critique: seeded random delays (adversarial for "
+        "the burst lane and broadcast batching — expect ~1x)",
+        lockstep=False,
+        full=_interference,
+        smoke=lambda: _interference(ns=(5,)),
+    ),
+    "byzantine": BenchCase(
+        "byzantine",
+        "honest latency vs #Byzantine nodes (tag-flooder behaviour)",
+        lockstep=False,
+        full=_byzantine,
+        smoke=lambda: _byzantine(byz_counts=(0, 1), ops_per_honest=1),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def _fingerprint(metrics: Any) -> str:
+    canonical = json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _measure(
+    workload: Callable[[], Any], *, repeats: int, warmup: int
+) -> tuple[dict[str, Any], str]:
+    """Time ``workload`` on the current substrate.
+
+    Returns the measurement record and the metrics fingerprint; raises
+    :class:`FingerprintMismatch` if two repeats disagree (a determinism
+    regression — the substrate leaked state between runs).
+    """
+    for _ in range(warmup):
+        workload()
+    walls: list[float] = []
+    fingerprints: list[str] = []
+    events = messages = 0
+    for _ in range(repeats):
+        gc.collect()
+        events_before, messages_before = STATS.events, STATS.messages
+        start = time.perf_counter()
+        metrics = workload()
+        walls.append(time.perf_counter() - start)
+        events = STATS.events - events_before
+        messages = STATS.messages - messages_before
+        fingerprints.append(_fingerprint(metrics))
+    if len(set(fingerprints)) != 1:
+        raise FingerprintMismatch(
+            f"non-deterministic workload: {sorted(set(fingerprints))}"
+        )
+    wall_min = min(walls)
+    record = {
+        "wall_s_min": round(wall_min, 4),
+        "wall_s_all": [round(w, 4) for w in walls],
+        "events": events,
+        "messages": messages,
+        "events_per_s": round(events / wall_min) if wall_min > 0 else 0,
+        "messages_per_s": round(messages / wall_min) if wall_min > 0 else 0,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    return record, fingerprints[0]
+
+
+def run_case(
+    case: BenchCase, *, smoke: bool, repeats: int, warmup: int
+) -> dict[str, Any]:
+    """Benchmark one case on both substrates and cross-check metrics."""
+    workload = case.smoke if smoke else case.full
+    previous = set_fast_path(True)
+    try:
+        fast, fast_fp = _measure(workload, repeats=repeats, warmup=warmup)
+        set_fast_path(False)
+        slow, slow_fp = _measure(workload, repeats=repeats, warmup=warmup)
+    finally:
+        set_fast_path(previous)
+    if fast_fp != slow_fp:
+        raise FingerprintMismatch(
+            f"case {case.name!r}: fast substrate metrics differ from the "
+            f"reference substrate ({fast_fp[:12]} != {slow_fp[:12]}) — "
+            "the fast path changed a paper-facing output"
+        )
+    return {
+        "name": case.name,
+        "description": case.description,
+        "lockstep": case.lockstep,
+        "fast": fast,
+        "slow": slow,
+        "speedup": round(slow["wall_s_min"] / fast["wall_s_min"], 2),
+        "metrics_identical": True,
+        "fingerprint_sha256": fast_fp,
+    }
+
+
+def run_bench(
+    case_names: list[str] | None = None,
+    *,
+    smoke: bool = False,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> dict[str, Any]:
+    """Run the selected cases (default: all) and build the report."""
+    names = case_names or list(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        raise BenchError(f"unknown case(s) {unknown}; choose from {sorted(CASES)}")
+    if repeats < 1 or warmup < 0:
+        raise BenchError(f"bad repeats={repeats}/warmup={warmup}")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "repro.bench",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "warmup": warmup,
+        "cases": [
+            run_case(CASES[name], smoke=smoke, repeats=repeats, warmup=warmup)
+            for name in names
+        ],
+    }
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable summary table of a bench report."""
+    header = (
+        f"{'case':14s} {'fast (s)':>9s} {'slow (s)':>9s} {'speedup':>8s} "
+        f"{'events/s':>10s} {'msgs/s':>10s}  identical"
+    )
+    lines = [f"repro.bench [{report['mode']}] repeats={report['repeats']}", header]
+    lines.append("-" * len(header))
+    for case in report["cases"]:
+        mark = " (lockstep)" if case["lockstep"] else ""
+        lines.append(
+            f"{case['name']:14s} {case['fast']['wall_s_min']:>9.3f} "
+            f"{case['slow']['wall_s_min']:>9.3f} {case['speedup']:>7.2f}x "
+            f"{case['fast']['events_per_s']:>10d} "
+            f"{case['fast']['messages_per_s']:>10d}  "
+            f"{'yes' if case['metrics_identical'] else 'NO'}{mark}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BenchCase",
+    "BenchError",
+    "CASES",
+    "FingerprintMismatch",
+    "format_report",
+    "run_bench",
+    "run_case",
+]

@@ -1,0 +1,105 @@
+"""Schema for the ``repro.bench`` report (``BENCH_macro.json``).
+
+Hand-rolled structural validation — the container deliberately carries
+no ``jsonschema`` dependency.  :func:`validate_report` returns a list of
+human-readable problems (empty = valid); the CLI's ``--validate`` and
+the CI bench-smoke job both go through it, so a schema drift fails fast
+instead of producing an unreadable trajectory file.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+#: required keys of one substrate measurement, with their types
+_MEASUREMENT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "wall_s_min": (int, float),
+    "wall_s_all": list,
+    "events": int,
+    "messages": int,
+    "events_per_s": (int, float),
+    "messages_per_s": (int, float),
+    "peak_rss_kb": int,
+}
+
+_CASE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "description": str,
+    "lockstep": bool,
+    "fast": dict,
+    "slow": dict,
+    "speedup": (int, float),
+    "metrics_identical": bool,
+    "fingerprint_sha256": str,
+}
+
+_TOP_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "generated_by": str,
+    "mode": str,
+    "repeats": int,
+    "warmup": int,
+    "cases": list,
+}
+
+
+def _check_fields(
+    obj: Any, fields: dict[str, type | tuple[type, ...]], where: str
+) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"{where}: expected an object, got {type(obj).__name__}"]
+    for key, types in fields.items():
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            continue
+        value = obj[key]
+        allowed = types if isinstance(types, tuple) else (types,)
+        ok = isinstance(value, allowed)
+        if ok and isinstance(value, bool) and bool not in allowed:
+            ok = False  # bool subclasses int; reject True for numeric fields
+        if not ok:
+            names = "|".join(t.__name__ for t in allowed)
+            problems.append(
+                f"{where}.{key}: expected {names}, got {type(value).__name__}"
+            )
+    return problems
+
+
+def validate_report(report: Any) -> list[str]:
+    """Structurally validate a bench report; returns problems (empty = ok)."""
+    problems = _check_fields(report, _TOP_FIELDS, "report")
+    if problems:
+        return problems
+    if report["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"report.schema_version: expected {SCHEMA_VERSION}, "
+            f"got {report['schema_version']}"
+        )
+    if report["mode"] not in ("full", "smoke"):
+        problems.append(f"report.mode: expected 'full'|'smoke', got {report['mode']!r}")
+    if not report["cases"]:
+        problems.append("report.cases: empty")
+    for i, case in enumerate(report["cases"]):
+        where = f"report.cases[{i}]"
+        case_problems = _check_fields(case, _CASE_FIELDS, where)
+        problems.extend(case_problems)
+        if case_problems:
+            continue
+        for side in ("fast", "slow"):
+            problems.extend(
+                _check_fields(case[side], _MEASUREMENT_FIELDS, f"{where}.{side}")
+            )
+        if not case["metrics_identical"]:
+            problems.append(
+                f"{where}: metrics_identical is false — fast and slow "
+                "substrates disagreed on paper-facing output"
+            )
+        if len(case["fingerprint_sha256"]) != 64:
+            problems.append(f"{where}.fingerprint_sha256: not a sha256 hex digest")
+    return problems
+
+
+__all__ = ["SCHEMA_VERSION", "validate_report"]

@@ -169,19 +169,21 @@ def _doomed_payload_predicate(
     from repro.baselines.scd_broadcast import MForward, ScdWrite
     from repro.baselines.store_collect import MStore
 
+    # exact-type dispatch: the payload classes are final, and a dict
+    # lookup beats a five-way isinstance chain on the per-message path
+    # (this predicate runs once per (message, destination))
+    checks: dict[type, Callable[[Any], bool]] = {
+        MValue: lambda p: p.vt.writer in writers,
+        MWrite: lambda p: p.writer in writers,
+        MStore: lambda p: any(w in writers for (w, _, _) in p.view),
+        MForward: lambda p: type(p.payload) is ScdWrite
+        and p.payload.writer in writers,
+        MGossip: lambda p: p.atom[0] in writers,
+    }
+
     def doomed(payload: Any) -> bool:
-        if isinstance(payload, MValue):
-            return payload.vt.writer in writers
-        if isinstance(payload, MWrite):
-            return payload.writer in writers
-        if isinstance(payload, MStore):
-            return any(w in writers for (w, _, _) in payload.view)
-        if isinstance(payload, MForward):
-            inner = payload.payload
-            return isinstance(inner, ScdWrite) and inner.writer in writers
-        if isinstance(payload, MGossip):
-            return payload.atom[0] in writers
-        return False
+        check = checks.get(type(payload))
+        return check(payload) if check is not None else False
 
     return doomed
 
@@ -256,8 +258,20 @@ def staircase_cluster(
     aux1, aux2 = correct_spares[0], correct_spares[1]
     doomed = _doomed_payload_predicate(factory, writers)
 
+    # doomedness depends only on the payload, and a broadcast asks once
+    # per destination with the identical payload object — memoize the
+    # last payload (held by strong reference, so the identity test is
+    # safe against id reuse)
+    memo_payload: Any = None
+    memo_delay = float(fast)
+
     def delays(src: int, dst: int, payload: Any, now: float) -> float | None:
-        return 1.0 if doomed(payload) else fast
+        nonlocal memo_payload, memo_delay
+        if payload is memo_payload:
+            return memo_delay
+        memo_payload = payload
+        memo_delay = 1.0 if doomed(payload) else fast
+        return memo_delay
 
     cluster = Cluster(
         factory,

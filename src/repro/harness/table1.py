@@ -122,27 +122,38 @@ def run_table1(
     amortized_ops: int = 25,
     interference_n: int = 9,
     seed: int = 42,
+    interference: bool = True,
 ) -> list[Table1Row]:
     """Measure all four Table I columns for all six algorithms.
 
     ``seed`` drives the interference wave's delay model (via
     :mod:`repro.sim.rng`); the chain/staircase columns are adversarial
     schedules and take no randomness.
+
+    ``interference=False`` restricts the worst-case columns to the
+    failure-chain staircase (the lockstep, constant-delay adversary).
+    ``python -m repro.bench`` uses this mode for its ``table1`` case so
+    the lockstep substrate benchmark is not diluted by the random-delay
+    interference column, which the dedicated ``interference`` bench case
+    measures on its own.
     """
     rows: list[Table1Row] = []
     for name, factory in ALGORITHMS.items():
-        upd_worst = max(
-            _victim_latency_under_chains(factory, "update", k),
-            _victim_latency_under_interference(
-                factory, "update", n=interference_n, seed=seed
-            ),
-        )
-        scan_worst = max(
-            _victim_latency_under_chains(factory, "scan", k),
-            _victim_latency_under_interference(
-                factory, "scan", n=interference_n, seed=seed
-            ),
-        )
+        upd_worst = _victim_latency_under_chains(factory, "update", k)
+        scan_worst = _victim_latency_under_chains(factory, "scan", k)
+        if interference:
+            upd_worst = max(
+                upd_worst,
+                _victim_latency_under_interference(
+                    factory, "update", n=interference_n, seed=seed
+                ),
+            )
+            scan_worst = max(
+                scan_worst,
+                _victim_latency_under_interference(
+                    factory, "scan", n=interference_n, seed=seed
+                ),
+            )
         rows.append(
             Table1Row(
                 algorithm=name,

@@ -13,6 +13,31 @@ Implements the channel contract of Sec. II-A:
 Crashed nodes neither send nor receive: sends by a crashed node are
 rejected upstream (the cluster silences it) and deliveries to a node that
 crashed in the meantime are dropped at delivery time.
+
+Hot-path design.  ``__init__`` compiles one of two send paths:
+
+- the **fast path** (no tracer, no delivery trace, fast substrate
+  enabled): per-message scheduling is closure-free
+  (:meth:`Simulator.schedule_call_at` with ``_arrive_fast``), the FIFO
+  clamp table is a flat ``n*n`` float list instead of a tuple-keyed
+  dict, constant-delay models are sampled without a double virtual
+  call, and :meth:`broadcast` batches its fan-out — one delivery event
+  per distinct post-clamp delivery time carrying the destination list,
+  so a lockstep broadcast costs ~1 kernel event instead of ``n − 1``.
+  Per-destination crash-drop checks still happen at delivery time.
+- the **instrumented path** (tracer enabled or ``record_trace``): the
+  original one-event-per-message scheduling with human-readable event
+  tags.  Because batching preserves the exact ``(time, priority, seq)``
+  delivery order (a broadcast's sends hold consecutive sequence
+  numbers; nothing can interleave), both paths produce identical
+  executions — so enabling tracing still cannot perturb the schedule,
+  and the disabled-tracer path pays nothing at all.
+
+Batching never changes observable order: within one batch the
+destination list preserves the per-destination sequence order, and any
+event scheduled by an earlier delivery's handler carries a larger
+sequence number than the whole batch, exactly as it would have with
+per-message events.
 """
 
 from __future__ import annotations
@@ -20,8 +45,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.net.delays import DelayModel
+from repro.net.delays import ConstantDelay, DelayModel
 from repro.net.faults import CrashPlan
+from repro.sim.fastpath import STATS, fast_path_enabled
 from repro.sim.kernel import Simulator
 
 
@@ -50,6 +76,7 @@ class Network:
         *,
         record_trace: bool = False,
         tracer: Any = None,
+        fast: bool | None = None,
     ) -> None:
         """
         Args:
@@ -64,15 +91,20 @@ class Network:
                 (memory-heavy; off by default, on in figure regenerators).
             tracer: optional :class:`repro.obs.Tracer`; send/deliver/drop
                 events are emitted through it.  A disabled tracer is
-                normalized to ``None`` so the hot path pays one ``is not
-                None`` test and nothing else.
+                normalized to ``None``, which selects the fast send path —
+                the disabled branches are compiled out entirely.
+            fast: substrate selector; ``None`` follows the global
+                :func:`repro.sim.fastpath.fast_path_enabled` switch.
         """
         self.sim = sim
         self.n = n
         self.delay_model = delay_model
         self.crash_plan = crash_plan
         self._deliver = deliver
-        self._last_delivery: dict[tuple[int, int], float] = {}
+        #: flat FIFO-clamp table, indexed ``src * n + dst`` (fast path)
+        self._last_delivery = [0.0] * (n * n)
+        #: tuple-keyed FIFO-clamp table (reference/instrumented path)
+        self._last_delivery_map: dict[tuple[int, int], float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -80,12 +112,126 @@ class Network:
         self.trace: list[DeliveryRecord] = []
         self._record_trace = record_trace
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        #: constant per-message delay, or None for model-driven sampling
+        self._const_delay: float | None = (
+            delay_model.delay if type(delay_model) is ConstantDelay else None
+        )
+        use_fast = fast_path_enabled() if fast is None else fast
+        # compile the send path: the fast pair only when nothing observes
+        # individual message events.  Bind the queue's push and the crash
+        # predicate once — delivery times are provably >= now (delay >= 0
+        # plus a monotone clamp), so the kernel's schedule-time validation
+        # is redundant on this path.
+        self._push_call = sim.queue.push_call
+        self._is_crashed = crash_plan.is_crashed
+        if use_fast and self._tracer is None and not record_trace:
+            self.send = self._send_fast  # type: ignore[method-assign]
+            self.broadcast = self._broadcast_fast  # type: ignore[method-assign]
 
     @property
     def D(self) -> float:
         """The maximum message delay (observer-only knowledge)."""
         return self.delay_model.D
 
+    # ------------------------------------------------------------------
+    # fast path (compiled in __init__ when untraced)
+    # ------------------------------------------------------------------
+    def _send_fast(self, src: int, dst: int, payload: Any) -> None:
+        """Hand one message to the network (reliable from this point on)."""
+        n = self.n
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"bad endpoints {src}->{dst} for n={n}")
+        now = self.sim.now
+        if src == dst:
+            delay = 0.0
+        else:
+            delay = self._const_delay
+            if delay is None:
+                delay = self.delay_model.delay_for(src, dst, payload, now)
+        deliver_at = now + delay
+        idx = src * n + dst
+        last = self._last_delivery
+        if deliver_at < last[idx]:
+            deliver_at = last[idx]  # FIFO clamp; see module docstring
+        else:
+            last[idx] = deliver_at
+        self.messages_sent += 1
+        self.sent_by_node[src] += 1
+        STATS.messages += 1
+        self._push_call(deliver_at, self._arrive_fast, (src, dst, payload))
+
+    def _broadcast_fast(self, src: int, payload: Any, dests: Sequence[int]) -> None:
+        """Batched fan-out: one delivery event per distinct delivery time."""
+        allowed, crash_now = self.crash_plan.filter_broadcast(src, payload, dests)
+        if allowed:
+            n = self.n
+            if not 0 <= src < n:
+                raise ValueError(f"bad endpoints {src}->? for n={n}")
+            now = self.sim.now
+            count = len(allowed)
+            self.messages_sent += count
+            self.sent_by_node[src] += count
+            STATS.messages += count
+            const_delay = self._const_delay
+            delay_model = self.delay_model
+            last = self._last_delivery
+            base = src * n
+            groups: dict[float, list[int]] = {}
+            for dst in allowed:
+                if not 0 <= dst < n:
+                    raise ValueError(f"bad endpoints {src}->{dst} for n={n}")
+                if src == dst:
+                    delay = 0.0
+                elif const_delay is not None:
+                    delay = const_delay
+                else:
+                    delay = delay_model.delay_for(src, dst, payload, now)
+                deliver_at = now + delay
+                idx = base + dst
+                if deliver_at < last[idx]:
+                    deliver_at = last[idx]  # FIFO clamp
+                else:
+                    last[idx] = deliver_at
+                group = groups.get(deliver_at)
+                if group is None:
+                    groups[deliver_at] = [dst]
+                else:
+                    group.append(dst)
+            push_call = self._push_call
+            for deliver_at, dsts in groups.items():
+                if len(dsts) == 1:
+                    push_call(deliver_at, self._arrive_fast, (src, dsts[0], payload))
+                else:
+                    push_call(deliver_at, self._arrive_batch, (src, dsts, payload))
+        if crash_now:
+            self.crash_plan.mark_crashed(src)
+
+    def _arrive_fast(self, src: int, dst: int, payload: Any) -> None:
+        if self._is_crashed(dst):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self._deliver(dst, src, payload)
+
+    def _arrive_batch(self, src: int, dsts: list[int], payload: Any) -> None:
+        """Deliver one batched fan-out group, re-checking crash state per
+        destination (a destination may have died since the send — or be
+        killed by an earlier delivery in this very batch)."""
+        crashed = self._is_crashed
+        deliver = self._deliver
+        for dst in dsts:
+            if crashed(dst):
+                self.messages_dropped += 1
+            else:
+                self.messages_delivered += 1
+                deliver(dst, src, payload)
+
+    # ------------------------------------------------------------------
+    # reference path (slow substrate, tracer and/or delivery trace).
+    # Kept deliberately identical to the pre-optimization implementation
+    # — one closure-carrying event per message, human-readable tags — so
+    # ``repro.bench``'s fast-vs-slow comparison measures the real before
+    # / after, and traces keep their per-message tags.
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any) -> None:
         """Hand one message to the network (reliable from this point on)."""
@@ -95,12 +241,13 @@ class Network:
         delay = self.delay_model.delay_for(src, dst, payload, now)
         deliver_at = now + delay
         pair = (src, dst)
-        prev = self._last_delivery.get(pair, 0.0)
+        prev = self._last_delivery_map.get(pair, 0.0)
         if deliver_at < prev:
             deliver_at = prev  # FIFO clamp; see module docstring
-        self._last_delivery[pair] = deliver_at
+        self._last_delivery_map[pair] = deliver_at
         self.messages_sent += 1
         self.sent_by_node[src] += 1
+        STATS.messages += 1
         if self._tracer is not None:
             self._tracer.on_send(src, dst, payload)
         self.sim.schedule_at(

@@ -115,7 +115,7 @@ class AioCluster:
             if self.crash_plan.is_crashed(node_id):
                 node.outbox.clear()
                 return
-            item = node.outbox.pop(0)
+            item = node.outbox.popleft()
             if isinstance(item, _Send):
                 self._channels[(node_id, item.dst)].put_nowait(item.payload)
             elif isinstance(item, _Broadcast):

@@ -194,7 +194,7 @@ class Cluster:
         self._runners: list[_OpRunner | None] = [None] * n
         self._started = False
         for node_id, time in self.crash_plan.timed_crashes():
-            self.sim.schedule_at(time, lambda nid=node_id: self.crash(nid))
+            self.sim.schedule_call_at(time, self.crash, node_id)
 
     @property
     def D(self) -> float:
@@ -239,9 +239,11 @@ class Cluster:
     ) -> OpHandle:
         """Schedule a client operation at absolute simulation time."""
         handle = OpHandle(node=node, kind=opname, args=tuple(args))
-        self.sim.schedule_at(
+        self.sim.schedule_call_at(
             time,
-            lambda: self._begin(handle, record),
+            self._begin,
+            handle,
+            record,
             tag=f"invoke:{opname}@{node}",
         )
         return handle
@@ -339,27 +341,37 @@ class Cluster:
     # transport plumbing
     # ------------------------------------------------------------------
     def _deliver(self, dst: int, src: int, payload: Any) -> None:
-        if self.crash_plan.is_crashed(dst):
-            return
-        self.nodes[dst].on_message(src, payload)
-        self._flush(dst)
-        self._maybe_resume(dst)
+        # the network already dropped deliveries to crashed nodes (its
+        # per-destination check runs at delivery time, immediately before
+        # this callback), so no re-check is needed here
+        node = self.nodes[dst]
+        node.on_message(src, payload)
+        if node.outbox:
+            self._flush(dst)
+        runner = self._runners[dst]
+        if runner is not None:
+            wait = runner.wait
+            if wait is not None and wait.predicate():
+                runner.advance()
 
     def _flush(self, node_id: int) -> None:
-        node = self.nodes[node_id]
-        while node.outbox:
-            if self.crash_plan.is_crashed(node_id):
-                # the node died mid-loop (BroadcastCrash): remaining queued
-                # sends never happened
-                node.outbox.clear()
-                break
-            item = node.outbox.pop(0)
-            if isinstance(item, _Send):
-                self.network.send(node_id, item.dst, item.payload)
-            elif isinstance(item, _Broadcast):
-                self.network.broadcast(node_id, item.payload, item.dests)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown outbox item {item!r}")
+        outbox = self.nodes[node_id].outbox
+        if outbox:
+            network = self.network
+            is_crashed = self.crash_plan.is_crashed
+            while outbox:
+                if is_crashed(node_id):
+                    # the node died mid-loop (BroadcastCrash): remaining
+                    # queued sends never happened
+                    outbox.clear()
+                    break
+                item = outbox.popleft()
+                if type(item) is _Send:
+                    network.send(node_id, item.dst, item.payload)
+                elif type(item) is _Broadcast:
+                    network.broadcast(node_id, item.payload, item.dests)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown outbox item {item!r}")
         if self.crash_plan.is_crashed(node_id):
             runner = self._runners[node_id]
             if runner is not None:
@@ -392,8 +404,21 @@ class Cluster:
                 detect the deadlocks that removing T1/T2/phase-0 causes).
         """
 
+        # ``stop_when`` runs after every kernel event, so the check must
+        # be cheap: handles settle monotonically (done/aborted never
+        # revert), so a cursor over the first unsettled handle makes the
+        # scan amortized O(1) per event instead of O(len(handles)).
+        total = len(handles)
+        cursor = 0
+
         def settled() -> bool:
-            return all(h.done or h.aborted for h in handles)
+            nonlocal cursor
+            while cursor < total:
+                h = handles[cursor]
+                if not (h.done or h.aborted):
+                    return False
+                cursor += 1
+            return True
 
         self.run(stop_when=settled)
         if not settled():

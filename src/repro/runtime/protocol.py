@@ -12,6 +12,7 @@ under both the discrete-event simulator and asyncio.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
@@ -62,7 +63,9 @@ class ProtocolNode(ABC):
         self.node_id = node_id
         self.n = n
         self.f = f
-        self.outbox: list[_Send | _Broadcast] = []
+        # a deque so runtimes drain it FIFO in O(1) per item (the drain
+        # loop is on the delivery hot path)
+        self.outbox: deque[_Send | _Broadcast] = deque()
         #: observability hook ``(node_id, phase_name, entering) -> None``,
         #: installed by a runtime when tracing is enabled; ``None`` keeps
         #: the phase annotations below free (one attribute read per call).

@@ -1,0 +1,88 @@
+"""Global fast-path switch and substrate counters.
+
+The simulation substrate has two implementations of its hot paths:
+
+- the **fast path** (default): closure-free ``(fn, *args)`` scheduling,
+  the same-time burst lane of :class:`repro.sim.events.EventQueue`, and
+  the batched broadcast fan-out of :class:`repro.net.network.Network`;
+- the **slow path**: the original heap-only queue
+  (:class:`repro.sim.events.ReferenceEventQueue`) and one delivery event
+  per message, kept as the behavioural reference.
+
+Both paths execute events in the identical ``(time, priority, seq)``
+total order, so every paper-facing measurement (latencies in ``D``,
+message counts, growth exponents, observability event logs) is
+byte-identical between them.  ``python -m repro.bench`` asserts exactly
+that, and the differential tests in ``tests/sim`` cover the queue at the
+operation level.
+
+The switch is consulted at *construction* time (``Simulator.__init__``
+and ``Network.__init__``); flipping it never affects a live kernel.  Use
+the :func:`slow_path` context manager around cluster construction to
+force the reference substrate::
+
+    with slow_path():
+        result = run_experiment("table1")   # reference substrate
+
+:class:`SubstrateStats` accumulates executed-event and sent-message
+totals across all kernels and networks in the process; the bench runner
+snapshots it around each timed run to report events/sec and
+messages/sec.  The counters are observability-only — nothing in the
+simulation reads them back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_fast_enabled: bool = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether newly built kernels/networks use the fast substrate."""
+    return _fast_enabled
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Set the global switch; returns the previous value."""
+    global _fast_enabled
+    previous = _fast_enabled
+    _fast_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def slow_path() -> Iterator[None]:
+    """Force the reference (pre-optimization) substrate within the block."""
+    previous = set_fast_path(False)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)
+
+
+class SubstrateStats:
+    """Process-wide executed-event / sent-message totals (monotone)."""
+
+    __slots__ = ("events", "messages")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.messages = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        return (self.events, self.messages)
+
+
+#: the process-wide instance updated by Simulator.run and Network sends
+STATS = SubstrateStats()
+
+
+__all__ = [
+    "STATS",
+    "SubstrateStats",
+    "fast_path_enabled",
+    "set_fast_path",
+    "slow_path",
+]

@@ -4,13 +4,24 @@ The simulator advances virtual time by executing scheduled events in
 deterministic order.  It is the global clock of the paper's analysis
 (Sec. II-A): only the harness reads :attr:`Simulator.now`; protocol code
 never does.
+
+Hot-path design (see :mod:`repro.sim.fastpath`): events carry
+``(fn, args)`` instead of a closure — :meth:`Simulator.schedule_call`
+schedules a call without allocating anything besides the event record
+itself — and :meth:`Simulator.run` drives a tight pop/execute loop with
+the ``until``/``stop_when``/trace-hook branches hoisted out of the
+steady state.  The executed-event total is folded into
+:data:`repro.sim.fastpath.STATS` when ``run`` returns, which is how
+``python -m repro.bench`` computes events/sec without touching the hot
+loop.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue, ReferenceEventQueue
+from repro.sim.fastpath import STATS, fast_path_enabled
 
 
 class SimulationError(RuntimeError):
@@ -21,6 +32,13 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Deterministic discrete-event simulator.
 
+    Args:
+        max_steps: executed-event budget (livelock guard).
+        fast: pick the queue implementation; ``None`` (default) follows
+            the global :func:`repro.sim.fastpath.fast_path_enabled`
+            switch.  Both implementations execute events in the identical
+            ``(time, priority, seq)`` order.
+
     Example:
         >>> sim = Simulator()
         >>> fired = []
@@ -30,8 +48,15 @@ class Simulator:
         [1.5]
     """
 
-    def __init__(self, *, max_steps: int = 50_000_000) -> None:
-        self._queue = EventQueue()
+    __slots__ = ("_queue", "_now", "_steps", "_max_steps", "_running", "_trace_hooks")
+
+    def __init__(
+        self, *, max_steps: int = 50_000_000, fast: bool | None = None
+    ) -> None:
+        use_fast = fast_path_enabled() if fast is None else fast
+        self._queue: EventQueue | ReferenceEventQueue = (
+            EventQueue() if use_fast else ReferenceEventQueue()
+        )
         self._now = 0.0
         self._steps = 0
         self._max_steps = max_steps
@@ -56,6 +81,18 @@ class Simulator:
         """Number of live scheduled events."""
         return len(self._queue)
 
+    @property
+    def queue(self) -> EventQueue | ReferenceEventQueue:
+        """The underlying event queue (advanced, hot-path API).
+
+        Exposed so compiled hot paths (the network's untraced send path)
+        can bind ``queue.push_call`` once and schedule without the
+        per-call ``time >= now`` validation — callers own the proof that
+        their times are never in the past (deliveries use
+        ``now + delay`` with ``delay >= 0`` and a monotone FIFO clamp).
+        Everything else should use the ``schedule*`` methods."""
+        return self._queue
+
     def schedule(
         self,
         delay: float,
@@ -67,7 +104,9 @@ class Simulator:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self._queue.push(self._now + delay, action, priority=priority, tag=tag)
+        return self._queue.push_call(
+            self._now + delay, action, (), priority=priority, tag=tag
+        )
 
     def schedule_at(
         self,
@@ -80,10 +119,39 @@ class Simulator:
         """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        return self._queue.push(time, action, priority=priority, tag=tag)
+        return self._queue.push_call(time, action, (), priority=priority, tag=tag)
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` — the closure-free hot
+        path (the network's per-message scheduling goes through here)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push_call(
+            self._now + delay, fn, args, priority=priority, tag=tag
+        )
+
+    def schedule_call_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` (closure-free)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push_call(time, fn, args, priority=priority, tag=tag)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event."""
+        """Cancel a pending event (no-op if it already fired)."""
         self._queue.cancel(event)
 
     def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
@@ -102,24 +170,30 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Execute the next event.  Returns False if the queue is empty."""
-        if not self._queue:
-            return False
-        event = self._queue.pop()
-        if event.time < self._now:
+    def _execute(self, event: Event) -> None:
+        """Advance the clock to ``event`` and run it (shared invariants)."""
+        time = event.time
+        if time < self._now:
             raise SimulationError(
-                f"time went backwards: event at {event.time} < now {self._now}"
+                f"time went backwards: event at {time} < now {self._now}"
             )
-        self._now = event.time
+        self._now = time
         self._steps += 1
         if self._steps > self._max_steps:
             raise SimulationError(
                 f"step budget exhausted ({self._max_steps}); likely livelock"
             )
-        for hook in self._trace_hooks:
-            hook(event)
-        event.action()
+        hooks = self._trace_hooks
+        if hooks:
+            for hook in hooks:
+                hook(event)
+        event.fn(*event.args)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        self._execute(self._queue.pop())
         return True
 
     def run(
@@ -137,21 +211,64 @@ class Simulator:
         if self._running:
             raise SimulationError("re-entrant Simulator.run")
         self._running = True
+        steps_at_entry = self._steps
         try:
-            while True:
-                if stop_when is not None and stop_when():
-                    return
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    if until is not None and until > self._now:
+            queue = self._queue
+            if until is None:
+                # hot loop: no peek, no until comparison.  The common
+                # drain-everything case additionally inlines _execute —
+                # one Python call per event is measurable at bench scale.
+                # ``hooks`` is the live list object, so hooks added or
+                # removed by an event handler take effect immediately.
+                if stop_when is None:
+                    pop = queue.pop
+                    hooks = self._trace_hooks
+                    max_steps = self._max_steps
+                    now = self._now
+                    while queue:
+                        event = pop()
+                        time = event.time
+                        if time < now:
+                            raise SimulationError(
+                                f"time went backwards: event at {time} "
+                                f"< now {now}"
+                            )
+                        now = self._now = time
+                        steps = self._steps + 1
+                        self._steps = steps
+                        if steps > max_steps:
+                            raise SimulationError(
+                                f"step budget exhausted ({max_steps}); "
+                                "likely livelock"
+                            )
+                        if hooks:
+                            for hook in hooks:
+                                hook(event)
+                        event.fn(*event.args)
+                        now = self._now  # an event may have re-run the sim
+                else:
+                    while True:
+                        if stop_when():
+                            return
+                        if not queue:
+                            return
+                        self._execute(queue.pop())
+            else:
+                while True:
+                    if stop_when is not None and stop_when():
+                        return
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        if until > self._now:
+                            self._now = until
+                        return
+                    if next_time > until:
                         self._now = until
-                    return
-                if until is not None and next_time > until:
-                    self._now = until
-                    return
-                self.step()
+                        return
+                    self._execute(queue.pop())
         finally:
             self._running = False
+            STATS.events += self._steps - steps_at_entry
 
 
 __all__ = ["SimulationError", "Simulator"]

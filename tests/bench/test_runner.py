@@ -1,0 +1,66 @@
+"""End-to-end tests of the repro.bench runner and CLI (smoke-sized)."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import CASES, BenchError, format_report, run_bench
+from repro.bench.schema import validate_report
+from repro.sim.fastpath import fast_path_enabled
+
+
+def test_unknown_case_rejected():
+    with pytest.raises(BenchError, match="unknown case"):
+        run_bench(["warp-drive"], smoke=True)
+
+
+def test_bad_repeats_rejected():
+    with pytest.raises(BenchError):
+        run_bench(["byzantine"], smoke=True, repeats=0)
+
+
+def test_case_registry_shape():
+    assert set(CASES) == {"table1", "scale_k", "interference", "byzantine"}
+    lockstep = {name for name, case in CASES.items() if case.lockstep}
+    assert lockstep == {"table1", "scale_k"}
+
+
+def test_smoke_bench_single_case_valid_and_identical():
+    """One smoke case end-to-end: report validates, metrics byte-identical
+    across substrates, and the global substrate switch is restored."""
+    assert fast_path_enabled()
+    report = run_bench(["byzantine"], smoke=True, repeats=1, warmup=0)
+    assert fast_path_enabled()
+    assert validate_report(report) == []
+    (case,) = report["cases"]
+    assert case["name"] == "byzantine"
+    assert case["metrics_identical"] is True
+    assert case["fast"]["events"] > 0
+    assert case["fast"]["messages"] > 0
+    # batching means the fast substrate executes no more kernel events
+    assert case["fast"]["events"] <= case["slow"]["events"]
+    # both substrates run the same protocol traffic
+    assert case["fast"]["messages"] == case["slow"]["messages"]
+    assert "byzantine" in format_report(report)
+
+
+def test_cli_roundtrip(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "bench.json"
+    assert main(["byzantine", "--smoke", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert validate_report(report) == []
+    assert report["mode"] == "smoke"
+    assert main(["--validate", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "valid" in captured.out
+
+
+def test_cli_validate_rejects_corrupt_report(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema_version": 1}))
+    assert main(["--validate", str(bad)]) == 1
+    assert main(["--validate", str(tmp_path / "missing.json")]) == 1

@@ -22,7 +22,7 @@ def test_factory_mixes_honest_and_byzantine():
 def test_silent_sends_nothing():
     shell = ByzantineShell(0, 4, 1, Silent())
     shell.on_message(1, MWriteTag(3, 1))
-    assert shell.outbox == []
+    assert not shell.outbox
 
 
 def test_tag_flooder_fires_with_budget():
@@ -34,13 +34,13 @@ def test_tag_flooder_fires_with_budget():
     assert isinstance(payload, MEchoTag) and payload.tag == 7
     shell.outbox.clear()
     shell.on_message(1, MWriteTag(3, 2))
-    assert shell.outbox == []  # budget exhausted
+    assert not shell.outbox  # budget exhausted
 
 
 def test_tag_flooder_ignores_other_messages():
     shell = ByzantineShell(0, 4, 1, TagFlooder())
     shell.on_message(1, MReadTag(1))
-    assert shell.outbox == []
+    assert not shell.outbox
 
 
 def test_ack_forger_inflates_read_acks():
