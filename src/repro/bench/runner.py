@@ -89,6 +89,12 @@ def _interference(**kw: Any) -> list[dict[str, Any]]:
     return _curves(interference_scan(seed=7, **kw))
 
 
+def _views(**kw: Any) -> dict[str, Any]:
+    from repro.harness.views_bench import views_stress
+
+    return views_stress(**kw)
+
+
 def _byzantine(**kw: Any) -> list[dict[str, Any]]:
     from repro.harness.byzantine import byz_scaling
 
@@ -136,6 +142,15 @@ CASES: dict[str, BenchCase] = {
         full=_byzantine,
         smoke=lambda: _byzantine(byz_counts=(0, 1), ops_per_honest=1),
     ),
+    "views": BenchCase(
+        "views",
+        "EQ-bound view-vector stress: concurrent update/scan chains at "
+        "every node (bitset data plane vs frozenset reference; the "
+        "eq_rows_* counters show the incremental-EQ row savings)",
+        lockstep=True,
+        full=_views,
+        smoke=lambda: _views(n=6, f=2, rounds=6, scan_every=3),
+    ),
 }
 
 
@@ -160,21 +175,22 @@ def _measure(
         workload()
     walls: list[float] = []
     fingerprints: list[str] = []
-    events = messages = 0
+    deltas: dict[str, int] = {}
     for _ in range(repeats):
         gc.collect()
-        events_before, messages_before = STATS.events, STATS.messages
+        before = STATS.counters()
         start = time.perf_counter()
         metrics = workload()
         walls.append(time.perf_counter() - start)
-        events = STATS.events - events_before
-        messages = STATS.messages - messages_before
+        after = STATS.counters()
+        deltas = {name: after[name] - before[name] for name in after}
         fingerprints.append(_fingerprint(metrics))
     if len(set(fingerprints)) != 1:
         raise FingerprintMismatch(
             f"non-deterministic workload: {sorted(set(fingerprints))}"
         )
     wall_min = min(walls)
+    events, messages = deltas["events"], deltas["messages"]
     record = {
         "wall_s_min": round(wall_min, 4),
         "wall_s_all": [round(w, 4) for w in walls],
@@ -183,6 +199,12 @@ def _measure(
         "events_per_s": round(events / wall_min) if wall_min > 0 else 0,
         "messages_per_s": round(messages / wall_min) if wall_min > 0 else 0,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        # data-plane counters (per run): how much EQ row work the
+        # representation did vs skipped; differ between planes by design
+        "eq_evals": deltas["eq_evals"],
+        "eq_rows_scanned": deltas["eq_rows_scanned"],
+        "eq_rows_saved": deltas["eq_rows_saved"],
+        "values_interned": deltas["values_interned"],
     }
     return record, fingerprints[0]
 

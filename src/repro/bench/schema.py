@@ -24,6 +24,15 @@ _MEASUREMENT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "peak_rss_kb": int,
 }
 
+#: optional data-plane counters (type-checked only when present, so
+#: pre-bitset reports stay valid)
+_OPTIONAL_MEASUREMENT_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "eq_evals": int,
+    "eq_rows_scanned": int,
+    "eq_rows_saved": int,
+    "values_interned": int,
+}
+
 _CASE_FIELDS: dict[str, type | tuple[type, ...]] = {
     "name": str,
     "description": str,
@@ -92,6 +101,12 @@ def validate_report(report: Any) -> list[str]:
             problems.extend(
                 _check_fields(case[side], _MEASUREMENT_FIELDS, f"{where}.{side}")
             )
+            present = {
+                key: types
+                for key, types in _OPTIONAL_MEASUREMENT_FIELDS.items()
+                if key in case[side]
+            }
+            problems.extend(_check_fields(case[side], present, f"{where}.{side}"))
         if not case["metrics_identical"]:
             problems.append(
                 f"{where}: metrics_identical is false — fast and slow "

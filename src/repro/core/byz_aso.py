@@ -65,6 +65,14 @@ class ByzantineAso(EqAso):
         # _row_verify_claim) plus claims that reached f+1 matching votes
         self._verified_claims: set[tuple[int, frozenset[ValueTs]]] = set()
         self._pending_claims: set[tuple[int, frozenset[ValueTs]]] = set()
+        # a delivery or HAVE of `vt` can only newly satisfy claims whose
+        # view contains `vt` (a row gaining an outside value can only
+        # *break* that claim's row matches, and vote-count changes are
+        # rechecked directly by the goodLA handler), so pending claims
+        # are indexed by the values they wait on instead of rescanned
+        self._claims_waiting_on: dict[
+            ValueTs, set[tuple[int, frozenset[ValueTs]]]
+        ] = {}
         self.garbage_dropped = 0
 
     # ==================================================================
@@ -88,7 +96,7 @@ class ByzantineAso(EqAso):
         self.broadcast(MHave(vt))
         for j in self._pending_haves.pop(vt, ()):  # flush buffered HAVEs
             self.V.add(j, vt)
-        self._recheck_pending_claims()
+        self._recheck_pending_claims(vt)
 
     def _is_delivered(self, vt: ValueTs) -> bool:
         return self._delivered_ts.get(vt.ts) == vt
@@ -167,21 +175,17 @@ class ByzantineAso(EqAso):
         evidence, independent of the claimant.  Row-verified sets are
         pairwise comparable across honest verifiers by the usual honest
         quorum-intersection argument (DESIGN.md §3.3), so they are safe to
-        serve from the SSO's local vector and to borrow."""
+        serve from the SSO's local vector and to borrow.  The row
+        comparison is a per-row mask test on the bitset data plane."""
         if not all(self._is_delivered(vt) for vt in ids):
             return False
-        matching = sum(
-            1
-            for j in range(self.n)
-            if self.V.restricted_row(j, tag) == ids
-        )
-        return matching >= self.quorum_size
+        return self.V.matching_restricted_rows(tag, ids) >= self.quorum_size
 
     def _accept_claim(self, tag: int, ids: View) -> None:
         if (tag, ids) in self._verified_claims:
             return
         self._verified_claims.add((tag, ids))
-        self._pending_claims.discard((tag, ids))
+        self._unpend_claim((tag, ids))
         self._on_safe_view(ids)
 
     def _consider_claim(self, tag: int, ids: View) -> None:
@@ -191,11 +195,35 @@ class ByzantineAso(EqAso):
         elif self._row_verify_claim(tag, ids):
             self._accept_claim(tag, ids)
         else:
-            self._pending_claims.add((tag, ids))
+            self._pend_claim((tag, ids))
 
-    def _recheck_pending_claims(self) -> None:
-        for tag, ids in list(self._pending_claims):
-            self._consider_claim(tag, ids)
+    def _pend_claim(self, key: tuple[int, View]) -> None:
+        if key in self._pending_claims:
+            return
+        self._pending_claims.add(key)
+        for vt in key[1]:
+            self._claims_waiting_on.setdefault(vt, set()).add(key)
+
+    def _unpend_claim(self, key: tuple[int, View]) -> None:
+        if key not in self._pending_claims:
+            return
+        self._pending_claims.discard(key)
+        for vt in key[1]:
+            bucket = self._claims_waiting_on.get(vt)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._claims_waiting_on[vt]
+
+    def _recheck_pending_claims(self, vt: ValueTs) -> None:
+        """Recheck only the pending claims whose view contains ``vt`` —
+        the ones a delivery/HAVE of ``vt`` can newly satisfy."""
+        bucket = self._claims_waiting_on.get(vt)
+        if not bucket:
+            return
+        for key in list(bucket):
+            if key in self._pending_claims:
+                self._consider_claim(*key)
 
     # ==================================================================
     # server thread
@@ -210,7 +238,7 @@ class ByzantineAso(EqAso):
                 case MHave(vt) if isinstance(vt, ValueTs):
                     if self._is_delivered(vt):
                         self.V.add(src, vt)
-                        self._recheck_pending_claims()
+                        self._recheck_pending_claims(vt)
                     else:
                         self._pending_haves.setdefault(vt, set()).add(src)
                 case MByzGoodLA(tag, ids) if isinstance(tag, int) and tag >= 0:

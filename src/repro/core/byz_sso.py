@@ -21,17 +21,18 @@ class ByzantineSso(ByzantineAso):
 
     def __init__(self, node_id: int, n: int, f: int) -> None:
         super().__init__(node_id, n, f)
-        self._safe_view: set[ValueTs] = set()
+        self._safe_view: frozenset[ValueTs] = frozenset()
 
     def _on_safe_view(self, view: View) -> None:
-        self._safe_view |= view
+        if not view <= self._safe_view:
+            self._safe_view = self._safe_view | view
 
     def scan(self) -> OpGen:  # lint: ignore[RL005] — zero-communication op
         """SCAN() — local, no communication, no waiting (contributes 0 to
         every phase, so the per-D accounting stays total without
         annotations)."""
         yield from ()
-        return extract(frozenset(self._safe_view), self.n)
+        return extract(self._safe_view, self.n)
 
 
 __all__ = ["ByzantineSso"]

@@ -43,7 +43,7 @@ from repro.core.messages import (
     MWriteTag,
 )
 from repro.core.tags import Timestamp, ValueTs, extract
-from repro.core.views import ViewVector, eq_predicate
+from repro.core.views import ViewVector
 from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
 
 View = frozenset[ValueTs]
@@ -138,7 +138,7 @@ class EqAso(ProtocolNode):
         holder: list[View] = []
 
         def eq_holds() -> bool:
-            hit = eq_predicate(self.V, self.node_id, self.f, r)
+            hit = self.V.eq_predicate(self.node_id, self.f, r)
             if hit is None:
                 return False
             holder.append(hit[1])
@@ -307,13 +307,20 @@ class EqAso(ProtocolNode):
     def _gc_old_tags(self) -> None:
         """Prune borrowable-view records older than the gc window (no-op
         unless :attr:`gc_tag_window` is set).  The tag a renewal is
-        actively waiting on is always retained."""
+        actively waiting on is always retained.
+
+        Also evicts the view vector's cached tag restrictions below the
+        cutoff: read tags are non-decreasing, so no future lattice
+        operation restricts below it, and without eviction the cache
+        would leak one entry per (row, tag) pair over a long-lived run.
+        """
         if self.gc_tag_window is None:
             return
         cutoff = self.max_tag - self.gc_tag_window
         for tag in [t for t in self._good_la_views if t < cutoff]:
             if tag != self._borrow_tag_in_use:
                 del self._good_la_views[tag]
+        self.V.prune_below(cutoff)
 
 
 __all__ = ["EqAso"]

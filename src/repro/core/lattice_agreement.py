@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
 
-from repro.core.views import ViewVector, eq_predicate
+from repro.core.views import ViewVector
 from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
 
 
@@ -87,7 +87,7 @@ class EarlyStoppingLA(ProtocolNode):
         holder: list[frozenset] = []
 
         def eq_holds() -> bool:
-            hit = eq_predicate(self.V, self.node_id, self.f)
+            hit = self.V.eq_predicate(self.node_id, self.f)
             if hit is None:
                 return False
             holder.append(hit[1])

@@ -16,7 +16,7 @@ from typing import Any
 
 from repro.core.messages import MValue, MValueAck
 from repro.core.tags import Timestamp, ValueTs, extract
-from repro.core.views import ViewVector, eq_predicate
+from repro.core.views import ViewVector
 from repro.runtime.protocol import OpGen, ProtocolNode, WaitUntil
 
 
@@ -61,7 +61,7 @@ class OneShotAso(ProtocolNode):
         holder: list[frozenset[ValueTs]] = []
 
         def pred() -> bool:
-            hit = eq_predicate(self.V, self.node_id, self.f)
+            hit = self.V.eq_predicate(self.node_id, self.f)
             if hit is None:
                 return False
             holder.append(hit[1])

@@ -40,20 +40,23 @@ class SsoFastScan(EqAso):
 
     def __init__(self, node_id: int, n: int, f: int) -> None:
         super().__init__(node_id, n, f)
-        self._safe_view: set[ValueTs] = set()
+        self._safe_view: frozenset[ValueTs] = frozenset()
         self.scan_messages = 0  # stays 0 forever; asserted by tests
 
     def _on_safe_view(self, view: View) -> None:
         # Views from good lattice operations form a chain (Lemma 2), so
         # the running union equals the maximum view learned so far.
-        self._safe_view |= view
+        # Keeping the view frozen lets SCAN hand it out without copying;
+        # the subset guard skips the rebuild for stale/duplicate views.
+        if not view <= self._safe_view:
+            self._safe_view = self._safe_view | view
 
     def scan(self) -> OpGen:  # lint: ignore[RL005] — zero-communication op
         """SCAN() — completes locally, sends nothing, never waits (its
         span has no protocol phases by construction, so the per-D
         accounting stays total without annotations)."""
         yield from ()  # a generator with zero waits: O(1) local step
-        return extract(frozenset(self._safe_view), self.n)
+        return extract(self._safe_view, self.n)
 
 
 __all__ = ["SsoFastScan"]

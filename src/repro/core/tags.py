@@ -101,6 +101,18 @@ class Snapshot:
         return None if m is None else m.uid()
 
 
+def tag_of(value: Any) -> int:
+    """The tag a value carries for ``V^{≤r}`` restrictions.
+
+    :class:`ValueTs` (and anything else timestamped) exposes ``.tag``;
+    untagged elements — e.g. the lattice-agreement proposals that reuse
+    the view-vector machinery — restrict as tag 0, i.e. they belong to
+    every restriction, which matches the unrestricted predicate those
+    algorithms evaluate.
+    """
+    return getattr(value, "tag", 0)
+
+
 def extract(view: Iterable[ValueTs], n: int) -> Snapshot:
     """The paper's ``extract(S)`` procedure (Algorithm 1, lines 31–34).
 
@@ -119,4 +131,4 @@ def extract(view: Iterable[ValueTs], n: int) -> Snapshot:
     )
 
 
-__all__ = ["Timestamp", "ValueTs", "Snapshot", "extract"]
+__all__ = ["Timestamp", "ValueTs", "Snapshot", "extract", "tag_of"]

@@ -9,38 +9,403 @@ property of Observation 1.
 ``EQ(V, i)`` holds iff at least ``n − f`` rows (an *equivalence quorum*)
 equal row ``i`` (the *equivalence set*).  The multi-shot algorithm checks
 the predicate on the tag-restricted vector ``V^{≤r}``.
+
+Two interchangeable **data planes** implement the structure, mirroring the
+fast/slow simulation substrate of :mod:`repro.sim.fastpath`:
+
+- :class:`BitsetViewVector` (the default): every distinct value is
+  interned into a dense integer id by a per-node :class:`ValueInterner`,
+  a row is a Python int used as a bitset (``row |= 1 << id``), a tag
+  restriction ``V[j]^{≤r}`` is ``row & mask(r)`` for a memoized mask,
+  and ``EQ(V^{≤r}, i)`` is **incremental** masked integer equality: the
+  runtime re-polls the predicate after *every* delivery while a lattice
+  operation waits, so the plane tracks which rows changed since the last
+  poll and maintains a bitmask of rows matching row ``i`` — a delivery
+  that touched no row re-checks nothing, and a typical delivery
+  re-checks exactly one row instead of rebuilding ``n`` frozensets.
+- :class:`ReferenceViewVector`: the original frozenset-per-row
+  implementation, kept as the behavioural oracle.
+
+``ViewVector(n)`` consults :func:`repro.sim.fastpath.fast_path_enabled`
+at construction time, exactly like the simulation substrate: flipping the
+switch never affects a live object, randomized differential tests drive
+both planes through identical operation interleavings, and every run of
+``python -m repro.bench`` asserts the two planes produce byte-identical
+paper-facing metrics before reporting a speedup.
 """
 
 from __future__ import annotations
 
-from repro.core.tags import ValueTs
+from typing import Hashable
+
+from repro.core.tags import ValueTs, tag_of
+from repro.sim.fastpath import STATS, fast_path_enabled
+
+
+class ValueInterner:
+    """Per-vector table assigning each distinct value a dense integer id.
+
+    The id is the value's bit position in every row bitset.  The interner
+    also maintains, per distinct tag, the bitmask of ids carrying that
+    tag, and memoizes cumulative ``tag ≤ r`` masks so a tag restriction
+    is a single ``&``.  Memoized masks are kept current as new values are
+    interned (a new bit is OR-ed into every covering mask), so a memoized
+    mask is never stale.
+    """
+
+    __slots__ = ("_ids", "_values", "_tag_masks", "_cum_masks")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+        self._tag_masks: dict[int, int] = {}
+        self._cum_masks: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, assigning the next free one if new."""
+        idx = self._ids.get(value)
+        if idx is None:
+            idx = len(self._values)
+            self._ids[value] = idx
+            self._values.append(value)
+            tag = tag_of(value)
+            bit = 1 << idx
+            self._tag_masks[tag] = self._tag_masks.get(tag, 0) | bit
+            for r in self._cum_masks:
+                if tag <= r:
+                    self._cum_masks[r] |= bit
+            STATS.values_interned += 1
+        return idx
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of ``value`` if it has been interned, else ``None``."""
+        return self._ids.get(value)
+
+    def mask_at_most(self, r: int) -> int:
+        """Bitmask of every interned value with tag ≤ ``r`` (memoized)."""
+        mask = self._cum_masks.get(r)
+        if mask is None:
+            mask = 0
+            for tag, tag_mask in self._tag_masks.items():
+                if tag <= r:
+                    mask |= tag_mask
+            self._cum_masks[r] = mask
+        return mask
+
+    def unpack(self, mask: int) -> frozenset:
+        """The set of values whose bits are set in ``mask``."""
+        values = self._values
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(values[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+    def prune_masks_below(self, r: int) -> None:
+        """Drop memoized cumulative masks for restrictions below ``r``
+        (recomputable from the per-tag masks if ever queried again)."""
+        for key in [k for k in self._cum_masks if k < r]:
+            del self._cum_masks[key]
+
+    def mask_stats(self) -> dict[str, int]:
+        """Diagnostics: table sizes (read by ``cache_stats``/benchmarks)."""
+        return {
+            "interned": len(self._values),
+            "tag_masks": len(self._tag_masks),
+            "cum_masks": len(self._cum_masks),
+        }
 
 
 class ViewVector:
     """The vector ``V[0..n-1]`` of value sets at one node.
+
+    Constructing ``ViewVector(n)`` returns the active data plane:
+    :class:`BitsetViewVector` under the fast path (the default),
+    :class:`ReferenceViewVector` under ``repro.sim.slow_path()``.  The
+    public API below is identical for both planes — algorithms never
+    observe the representation, which is what makes the planes (and the
+    bench's byte-identity guarantee) interchangeable.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, n: int) -> "ViewVector":
+        if cls is ViewVector:
+            impl = BitsetViewVector if fast_path_enabled() else ReferenceViewVector
+            return object.__new__(impl)
+        return object.__new__(cls)
+
+    # -- mutation -------------------------------------------------------
+    def add(self, j: int, vt: ValueTs) -> bool:
+        """Add ``vt`` to row ``j``; returns True if it was new to that row."""
+        raise NotImplementedError
+
+    # -- row access -----------------------------------------------------
+    def row(self, j: int) -> frozenset[ValueTs]:
+        """A read-only snapshot of row ``j`` (the full, unrestricted view)."""
+        raise NotImplementedError
+
+    def row_size(self, j: int) -> int:
+        raise NotImplementedError
+
+    def contains(self, j: int, vt: ValueTs) -> bool:
+        raise NotImplementedError
+
+    def restricted_row(self, j: int, r: int) -> frozenset[ValueTs]:
+        """``V[j]^{≤r}`` — the values in row ``j`` with tag at most ``r``."""
+        raise NotImplementedError
+
+    def matching_restricted_rows(self, r: int, ids: frozenset[ValueTs]) -> int:
+        """How many rows satisfy ``V[j]^{≤r} == ids``.
+
+        This is the verifier's side of the Byzantine row-verified borrow
+        (DESIGN.md §3.3): the caller compares the count against its
+        ``n − f`` quorum.  The bitset plane answers with one mask
+        comparison per row instead of building ``n`` frozensets.
+        """
+        raise NotImplementedError
+
+    # -- whole-vector diagnostics --------------------------------------
+    def all_values(self) -> frozenset[ValueTs]:
+        """Union of all rows (every value this node has ever seen).
+
+        Maintained incrementally by :meth:`add` — feeds per-op harness
+        diagnostics, never the algorithm.
+        """
+        raise NotImplementedError
+
+    def max_value_tag(self) -> int:
+        """Largest tag among received values (0 if none).
+
+        Note this is *not* the algorithm's ``maxTag`` variable: per the
+        paper (Sec. III-D, "Message Handlers"), ``maxTag`` is updated only
+        by writeTag/echoTag messages — a dedicated test pins that rule.
+        This helper only feeds diagnostics and is maintained incrementally
+        by :meth:`add`.
+        """
+        raise NotImplementedError
+
+    # -- the predicate --------------------------------------------------
+    def eq_predicate(
+        self, i: int, f: int, r: int | None = None
+    ) -> tuple[tuple[int, ...], frozenset[ValueTs]] | None:
+        """Evaluate ``EQ(V^{≤r}, i)`` (Definition 6).
+
+        Args:
+            i: the node evaluating the predicate.
+            f: fault threshold; the quorum size is ``n − f``.
+            r: tag bound; ``None`` means the unrestricted predicate
+               (one-shot algorithm, Sec. III-C).
+
+        Returns:
+            ``(quorum, equivalence_set)`` if the predicate holds — the
+            quorum is the sorted tuple of *all* matching rows (a superset
+            of some ``n − f``-quorum) — else ``None``.
+        """
+        raise NotImplementedError
+
+    # -- memory management ---------------------------------------------
+    def prune_below(self, r: int) -> None:
+        """Evict cached tag restrictions below ``r``.
+
+        Called by :meth:`repro.core.eq_aso.EqAso._gc_old_tags` with the
+        ``gc_tag_window`` cutoff: restrictions at pruned tags can no
+        longer be requested by future lattice operations (read tags are
+        non-decreasing), so evicting them bounds cache growth on
+        long-lived deployments.  Caches only — never affects results.
+        """
+        raise NotImplementedError
+
+    def cache_stats(self) -> dict[str, int | str]:
+        """Diagnostics: plane name and cache/table sizes (tests and the
+        ``views`` macro-benchmark read this; algorithms never do)."""
+        raise NotImplementedError
+
+
+class BitsetViewVector(ViewVector):
+    """The interned-bitset data plane with incremental EQ (the default)."""
+
+    __slots__ = (
+        "n",
+        "_interner",
+        "_rows",
+        "_dirty",
+        "_filter_cache",
+        "_eq_key",
+        "_eq_target",
+        "_eq_matches",
+        "_union_mask",
+        "_max_seen_tag",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._interner = ValueInterner()
+        self._rows: list[int] = [0] * n
+        #: bitmask of rows changed since the last eq_predicate evaluation
+        self._dirty = 0
+        #: (j, r) -> (masked row bits, materialized frozenset)
+        self._filter_cache: dict[tuple[int, int], tuple[int, frozenset[ValueTs]]] = {}
+        #: incremental EQ state for the most recent (i, r) evaluated
+        self._eq_key: tuple[int, int | None] | None = None
+        self._eq_target = 0
+        self._eq_matches = 0
+        self._union_mask = 0
+        self._max_seen_tag = 0
+
+    def add(self, j: int, vt: ValueTs) -> bool:
+        bit = 1 << self._interner.intern(vt)
+        row = self._rows[j]
+        if row & bit:
+            return False
+        self._rows[j] = row | bit
+        self._dirty |= 1 << j
+        if not self._union_mask & bit:
+            self._union_mask |= bit
+            tag = tag_of(vt)
+            if tag > self._max_seen_tag:
+                self._max_seen_tag = tag
+        return True
+
+    def row(self, j: int) -> frozenset[ValueTs]:
+        return self._interner.unpack(self._rows[j])
+
+    def row_size(self, j: int) -> int:
+        return self._rows[j].bit_count()
+
+    def contains(self, j: int, vt: ValueTs) -> bool:
+        idx = self._interner.id_of(vt)
+        return idx is not None and (self._rows[j] >> idx) & 1 == 1
+
+    def restricted_row(self, j: int, r: int) -> frozenset[ValueTs]:
+        masked = self._rows[j] & self._interner.mask_at_most(r)
+        key = (j, r)
+        hit = self._filter_cache.get(key)
+        if hit is not None and hit[0] == masked:
+            return hit[1]
+        out = self._interner.unpack(masked)
+        self._filter_cache[key] = (masked, out)
+        return out
+
+    def matching_restricted_rows(self, r: int, ids: frozenset[ValueTs]) -> int:
+        id_of = self._interner.id_of
+        claim = 0
+        for vt in ids:
+            idx = id_of(vt)
+            if idx is None:
+                return 0  # a value no row here has ever seen: no row matches
+            claim |= 1 << idx
+        mask = self._interner.mask_at_most(r)
+        if claim & ~mask:
+            return 0  # some claimed value has tag > r: no restriction matches
+        return sum(1 for row in self._rows if row & mask == claim)
+
+    def all_values(self) -> frozenset[ValueTs]:
+        return self._interner.unpack(self._union_mask)
+
+    def max_value_tag(self) -> int:
+        return self._max_seen_tag
+
+    def eq_predicate(
+        self, i: int, f: int, r: int | None = None
+    ) -> tuple[tuple[int, ...], frozenset[ValueTs]] | None:
+        STATS.eq_evals += 1
+        rows = self._rows
+        n = self.n
+        mask = -1 if r is None else self._interner.mask_at_most(r)
+        key = (i, r)
+        dirty = self._dirty
+        if key != self._eq_key or (dirty >> i) & 1:
+            # different predicate, or the target row itself changed:
+            # recompute the full match mask (n integer compares).
+            target = rows[i] & mask
+            matches = 0
+            bit = 1
+            for j in range(n):
+                if rows[j] & mask == target:
+                    matches |= bit
+                bit <<= 1
+            STATS.eq_rows_scanned += n
+            self._eq_key = key
+            self._eq_target = target
+        else:
+            # steady state: only rows dirtied since the last poll can
+            # change their match status.  A new value interned since then
+            # can widen `mask`, but an unchanged row cannot contain its
+            # bit (setting a row bit marks the row dirty), so clean rows
+            # keep their masked value — and their match status — as-is.
+            target = self._eq_target
+            matches = self._eq_matches
+            scanned = 0
+            d = dirty
+            while d:
+                low = d & -d
+                if rows[low.bit_length() - 1] & mask == target:
+                    matches |= low
+                else:
+                    matches &= ~low
+                d ^= low
+                scanned += 1
+            STATS.eq_rows_scanned += scanned
+            STATS.eq_rows_saved += n - scanned
+        self._eq_matches = matches
+        self._dirty = 0
+        if matches.bit_count() >= n - f:
+            quorum = tuple(j for j in range(n) if (matches >> j) & 1)
+            return quorum, self._interner.unpack(target)
+        return None
+
+    def prune_below(self, r: int) -> None:
+        for key in [k for k in self._filter_cache if k[1] < r]:
+            del self._filter_cache[key]
+        self._interner.prune_masks_below(r)
+
+    def cache_stats(self) -> dict[str, int | str]:
+        stats = self._interner.mask_stats()
+        return {
+            "plane": "bitset",
+            "filter_cache": len(self._filter_cache),
+            "interned": stats["interned"],
+            "tag_masks": stats["tag_masks"],
+            "cum_masks": stats["cum_masks"],
+        }
+
+
+class ReferenceViewVector(ViewVector):
+    """The original set-based data plane — the behavioural oracle.
 
     Rows only ever grow; the class exploits that to cache tag-restricted
     rows (the EQ predicate is re-evaluated after every delivery while a
     lattice operation waits, and most rows are unchanged between checks).
     """
 
-    __slots__ = ("n", "_rows", "_filter_cache")
+    __slots__ = ("n", "_rows", "_filter_cache", "_union_values", "_max_seen_tag")
 
     def __init__(self, n: int) -> None:
         self.n = n
         self._rows: list[set[ValueTs]] = [set() for _ in range(n)]
+        #: (j, r) -> (row size at filter time, materialized frozenset)
         self._filter_cache: dict[tuple[int, int], tuple[int, frozenset[ValueTs]]] = {}
+        self._union_values: set[ValueTs] = set()
+        self._max_seen_tag = 0
 
     def add(self, j: int, vt: ValueTs) -> bool:
-        """Add ``vt`` to row ``j``; returns True if it was new to that row."""
         row = self._rows[j]
         if vt in row:
             return False
         row.add(vt)
+        if vt not in self._union_values:
+            self._union_values.add(vt)
+            tag = tag_of(vt)
+            if tag > self._max_seen_tag:
+                self._max_seen_tag = tag
         return True
 
     def row(self, j: int) -> frozenset[ValueTs]:
-        """A read-only snapshot of row ``j`` (the full, unrestricted view)."""
         return frozenset(self._rows[j])
 
     def row_size(self, j: int) -> int:
@@ -50,37 +415,55 @@ class ViewVector:
         return vt in self._rows[j]
 
     def restricted_row(self, j: int, r: int) -> frozenset[ValueTs]:
-        """``V[j]^{≤r}`` — the values in row ``j`` with tag at most ``r``."""
         key = (j, r)
         size = len(self._rows[j])
         hit = self._filter_cache.get(key)
         if hit is not None and hit[0] == size:
             return hit[1]
-        filtered = frozenset(vt for vt in self._rows[j] if vt.ts.tag <= r)
+        filtered = frozenset(vt for vt in self._rows[j] if tag_of(vt) <= r)
         self._filter_cache[key] = (size, filtered)
         return filtered
 
+    def matching_restricted_rows(self, r: int, ids: frozenset[ValueTs]) -> int:
+        target = ids if isinstance(ids, frozenset) else frozenset(ids)
+        return sum(1 for j in range(self.n) if self.restricted_row(j, r) == target)
+
     def all_values(self) -> frozenset[ValueTs]:
-        """Union of all rows (every value this node has ever seen)."""
-        out: set[ValueTs] = set()
-        for row in self._rows:
-            out |= row
-        return frozenset(out)
+        return frozenset(self._union_values)
 
     def max_value_tag(self) -> int:
-        """Largest tag among received values (0 if none).
+        return self._max_seen_tag
 
-        Note this is *not* the algorithm's ``maxTag`` variable: per the
-        paper (Sec. III-D, "Message Handlers"), ``maxTag`` is updated only
-        by writeTag/echoTag messages — a dedicated test pins that rule.
-        This helper only feeds diagnostics.
-        """
-        best = 0
-        for row in self._rows:
-            for vt in row:
-                if vt.ts.tag > best:
-                    best = vt.ts.tag
-        return best
+    def eq_predicate(
+        self, i: int, f: int, r: int | None = None
+    ) -> tuple[tuple[int, ...], frozenset[ValueTs]] | None:
+        STATS.eq_evals += 1
+        n = self.n
+        need = n - f
+        if r is None:
+            target: frozenset[ValueTs] = self.row(i)
+            rows = [self.row(j) for j in range(n)]
+        else:
+            target = self.restricted_row(i, r)
+            rows = [self.restricted_row(j, r) for j in range(n)]
+        STATS.eq_rows_scanned += n
+        quorum = tuple(j for j in range(n) if rows[j] == target)
+        if len(quorum) >= need:
+            return quorum, target
+        return None
+
+    def prune_below(self, r: int) -> None:
+        for key in [k for k in self._filter_cache if k[1] < r]:
+            del self._filter_cache[key]
+
+    def cache_stats(self) -> dict[str, int | str]:
+        return {
+            "plane": "reference",
+            "filter_cache": len(self._filter_cache),
+            "interned": 0,
+            "tag_masks": 0,
+            "cum_masks": 0,
+        }
 
 
 def eq_predicate(
@@ -88,30 +471,16 @@ def eq_predicate(
 ) -> tuple[tuple[int, ...], frozenset[ValueTs]] | None:
     """Evaluate ``EQ(V^{≤r}, i)`` (Definition 6).
 
-    Args:
-        V: the node's view vector.
-        i: the node evaluating the predicate.
-        f: fault threshold; the quorum size is ``n − f``.
-        r: tag bound; ``None`` means the unrestricted predicate (one-shot
-           algorithm, Sec. III-C).
-
-    Returns:
-        ``(quorum, equivalence_set)`` if the predicate holds — the quorum
-        is the sorted tuple of *all* matching rows (a superset of some
-        ``n − f``-quorum) — else ``None``.
+    Thin functional wrapper over :meth:`ViewVector.eq_predicate`, kept
+    for API stability (tests and notebooks call the Definition by name).
     """
-    n = V.n
-    need = n - f
-    if r is None:
-        target: frozenset[ValueTs] = V.row(i)
-        rows = [V.row(j) for j in range(n)]
-    else:
-        target = V.restricted_row(i, r)
-        rows = [V.restricted_row(j, r) for j in range(n)]
-    quorum = tuple(j for j in range(n) if rows[j] == target)
-    if len(quorum) >= need:
-        return quorum, target
-    return None
+    return V.eq_predicate(i, f, r)
 
 
-__all__ = ["ViewVector", "eq_predicate"]
+__all__ = [
+    "BitsetViewVector",
+    "ReferenceViewVector",
+    "ValueInterner",
+    "ViewVector",
+    "eq_predicate",
+]

@@ -46,6 +46,29 @@ DEFAULT_IO_MODULES: frozenset[str] = frozenset(
     }
 )
 
+#: Representation-private attributes of the view-vector data planes and
+#: the value interner (RL006).  Accessing one of these on a non-``self``
+#: receiver outside the view-plane module couples the caller to one
+#: concrete representation.
+DEFAULT_VIEW_PLANE_ATTRS: frozenset[str] = frozenset(
+    {
+        "_rows",
+        "_interner",
+        "_filter_cache",
+        "_dirty",
+        "_eq_key",
+        "_eq_target",
+        "_eq_matches",
+        "_union_mask",
+        "_union_values",
+        "_max_seen_tag",
+        "_ids",
+        "_values",
+        "_tag_masks",
+        "_cum_masks",
+    }
+)
+
 DEFAULT_EXCLUDE_PARTS: tuple[str, ...] = (
     "__pycache__",
     ".git",
@@ -77,8 +100,11 @@ class LintConfig:
     sansio_prefixes: tuple[str, ...] = ("core/", "baselines/", "net/")
     #: module basename substring marking a wire-message module
     messages_pattern: str = "messages"
+    #: package-relative module paths allowed to touch view internals
+    view_plane_modules: tuple[str, ...] = ("core/views.py",)
     nondeterministic_modules: frozenset[str] = DEFAULT_NONDETERMINISTIC_MODULES
     io_modules: frozenset[str] = DEFAULT_IO_MODULES
+    view_plane_private_attrs: frozenset[str] = DEFAULT_VIEW_PLANE_ATTRS
 
     # -- path classification --------------------------------------------
     def package_relpath(self, path: str) -> str | None:
@@ -110,6 +136,10 @@ class LintConfig:
     def is_messages_module(self, path: str) -> bool:
         name = pathlib.PurePath(path).name
         return name.endswith(".py") and self.messages_pattern in name
+
+    def is_view_plane_module(self, path: str) -> bool:
+        rel = self.package_relpath(path)
+        return rel is not None and rel in self.view_plane_modules
 
     def is_excluded(self, path: str) -> bool:
         posix = _posix(path)
@@ -164,6 +194,10 @@ class LintConfig:
             kwargs["rng_modules"] = tuple(map(str, table["rng-modules"]))
         if "sansio-paths" in table:
             kwargs["sansio_prefixes"] = tuple(map(str, table["sansio-paths"]))
+        if "view-plane-modules" in table:
+            kwargs["view_plane_modules"] = tuple(
+                map(str, table["view-plane-modules"])
+            )
         return cls(**kwargs)
 
 
@@ -171,5 +205,6 @@ __all__ = [
     "DEFAULT_EXCLUDE_PARTS",
     "DEFAULT_IO_MODULES",
     "DEFAULT_NONDETERMINISTIC_MODULES",
+    "DEFAULT_VIEW_PLANE_ATTRS",
     "LintConfig",
 ]

@@ -13,6 +13,7 @@ from repro.lint.rules.rl002_sansio import SansIoRule
 from repro.lint.rules.rl003_immutability import MessageImmutabilityRule
 from repro.lint.rules.rl004_quorum import QuorumArithmeticRule
 from repro.lint.rules.rl005_phases import PhaseCoverageRule
+from repro.lint.rules.rl006_views import ViewPlaneEncapsulationRule
 
 #: rule id -> rule instance (rules are stateless; one instance serves
 #: every run)
@@ -24,6 +25,7 @@ ALL_RULES: dict[str, Rule] = {
         MessageImmutabilityRule(),
         QuorumArithmeticRule(),
         PhaseCoverageRule(),
+        ViewPlaneEncapsulationRule(),
     )
 }
 

@@ -1,0 +1,64 @@
+"""RL006 — view-plane encapsulation.
+
+The view vector has two interchangeable representations (the bitset data
+plane and the frozenset reference, :mod:`repro.core.views`), selected at
+construction time by the fast-path switch.  That swap is only sound while
+every other module goes through the shared ``ViewVector`` API — code that
+reaches into ``V._rows``, ``V._filter_cache`` or the interner's tables is
+coupled to one representation and silently breaks (or worse, diverges)
+under the other.
+
+The check: outside the view-plane module(s), no attribute access on a
+*non-self* receiver may name a data-plane private attribute
+(``_rows``, ``_interner``, ``_filter_cache``, the interner tables, the
+incremental-EQ state).  ``self.<attr>`` stays allowed everywhere — an
+unrelated class defining its own ``_dirty`` is not a view-plane
+violation; reaching into *another* object's ``_dirty`` is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo, ProjectIndex
+from repro.lint.rules.base import Rule
+
+
+class ViewPlaneEncapsulationRule(Rule):
+    rule_id = "RL006"
+    summary = (
+        "representation-private view-vector/interner attribute accessed "
+        "outside the view-plane module"
+    )
+    fix_hint = (
+        "use the ViewVector API (row/restricted_row/eq_predicate/"
+        "matching_restricted_rows/cache_stats/prune_below) so both data "
+        "planes stay interchangeable"
+    )
+
+    def check(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        if config.is_view_plane_module(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in config.view_plane_private_attrs
+                and not (
+                    isinstance(node.value, ast.Name) and node.value.id == "self"
+                )
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"access to data-plane private attribute {node.attr!r} "
+                    f"outside the view-plane module couples this code to "
+                    f"one ViewVector representation",
+                )
+
+
+__all__ = ["ViewPlaneEncapsulationRule"]

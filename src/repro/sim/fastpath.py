@@ -16,10 +16,15 @@ byte-identical between them.  ``python -m repro.bench`` asserts exactly
 that, and the differential tests in ``tests/sim`` cover the queue at the
 operation level.
 
-The switch is consulted at *construction* time (``Simulator.__init__``
-and ``Network.__init__``); flipping it never affects a live kernel.  Use
-the :func:`slow_path` context manager around cluster construction to
-force the reference substrate::
+The same switch also selects the view-vector **data plane**
+(:mod:`repro.core.views`): the fast path interns values and keeps rows
+as integer bitsets with incremental EQ evaluation; the slow path keeps
+the original frozenset rows as the behavioural oracle.
+
+The switch is consulted at *construction* time (``Simulator.__init__``,
+``Network.__init__`` and ``ViewVector.__new__``); flipping it never
+affects a live kernel or vector.  Use the :func:`slow_path` context
+manager around cluster construction to force the reference substrate::
 
     with slow_path():
         result = run_experiment("table1")   # reference substrate
@@ -63,16 +68,41 @@ def slow_path() -> Iterator[None]:
 
 
 class SubstrateStats:
-    """Process-wide executed-event / sent-message totals (monotone)."""
+    """Process-wide substrate and data-plane counters (monotone).
 
-    __slots__ = ("events", "messages")
+    ``events``/``messages`` come from the simulation substrate (kernel
+    and network); the ``eq_*``/``values_interned`` counters come from the
+    view-vector data plane (:mod:`repro.core.views`) and let the bench
+    report how much row work the incremental EQ evaluation avoided.
+    """
+
+    __slots__ = (
+        "events",
+        "messages",
+        "eq_evals",
+        "eq_rows_scanned",
+        "eq_rows_saved",
+        "values_interned",
+    )
 
     def __init__(self) -> None:
         self.events = 0
         self.messages = 0
+        #: EQ-predicate evaluations across every ViewVector (both planes)
+        self.eq_evals = 0
+        #: rows actually (re)compared during those evaluations
+        self.eq_rows_scanned = 0
+        #: rows the bitset plane's incremental match tracking skipped
+        self.eq_rows_saved = 0
+        #: distinct values interned across every ValueInterner
+        self.values_interned = 0
 
     def snapshot(self) -> tuple[int, int]:
         return (self.events, self.messages)
+
+    def counters(self) -> dict[str, int]:
+        """All counters by name (the bench snapshots this around runs)."""
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 #: the process-wide instance updated by Simulator.run and Network sends

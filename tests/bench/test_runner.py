@@ -20,9 +20,9 @@ def test_bad_repeats_rejected():
 
 
 def test_case_registry_shape():
-    assert set(CASES) == {"table1", "scale_k", "interference", "byzantine"}
+    assert set(CASES) == {"table1", "scale_k", "interference", "byzantine", "views"}
     lockstep = {name for name, case in CASES.items() if case.lockstep}
-    assert lockstep == {"table1", "scale_k"}
+    assert lockstep == {"table1", "scale_k", "views"}
 
 
 def test_smoke_bench_single_case_valid_and_identical():
@@ -42,6 +42,23 @@ def test_smoke_bench_single_case_valid_and_identical():
     # both substrates run the same protocol traffic
     assert case["fast"]["messages"] == case["slow"]["messages"]
     assert "byzantine" in format_report(report)
+
+
+def test_views_case_reports_data_plane_counters():
+    """The views case is EQ-bound by construction: the bitset plane must
+    report incremental row savings, the reference plane none, and the
+    paper-facing metrics must still be byte-identical."""
+    report = run_bench(["views"], smoke=True, repeats=1, warmup=0)
+    assert validate_report(report) == []
+    (case,) = report["cases"]
+    assert case["metrics_identical"] is True
+    fast, slow = case["fast"], case["slow"]
+    assert fast["eq_evals"] == slow["eq_evals"] > 0
+    assert fast["eq_rows_saved"] > 0  # incremental EQ skipped clean rows
+    assert slow["eq_rows_saved"] == 0  # the oracle always rescans
+    assert fast["eq_rows_scanned"] < slow["eq_rows_scanned"]
+    assert fast["values_interned"] > 0
+    assert slow["values_interned"] == 0
 
 
 def test_cli_roundtrip(tmp_path, capsys):

@@ -107,3 +107,39 @@ def test_byzantine_fuzz_mixed_coalition():
         cluster.run_until_complete(handles)
         assert all(h.done for h in handles)
         assert is_linearizable(cluster.history)
+
+
+def test_pending_claim_indexed_by_waited_values():
+    """Satellite of the bitset PR: pending claims are indexed by the
+    values they wait on, and acceptance cleans the index up."""
+    v, w = vt("v", 1, 1), vt("w", 1, 2)
+    node = ByzantineAso(0, 4, 1)
+    node._on_rbc_deliver(1, v)
+    ids = frozenset({v, w})
+    node.on_message(2, MByzGoodLA(1, ids))
+    assert (1, ids) in node._pending_claims  # w not delivered yet
+    assert (1, ids) in node._claims_waiting_on[v]
+    assert (1, ids) in node._claims_waiting_on[w]
+    node._on_rbc_deliver(2, w)
+    for peer in range(1, 4):
+        node.on_message(peer, MHave(v))
+        node.on_message(peer, MHave(w))
+    assert (1, ids) in node._verified_claims
+    assert (1, ids) not in node._pending_claims
+    assert all(
+        (1, ids) not in bucket for bucket in node._claims_waiting_on.values()
+    )
+
+
+def test_recheck_with_unrelated_value_leaves_claims_pending():
+    """A delivery of a value outside a claim's view cannot newly satisfy
+    it, so the recheck is an O(1) no-op for that claim."""
+    ghost, other = vt("ghost", 1, 1), vt("other", 1, 2)
+    node = ByzantineAso(0, 4, 1)
+    ids = frozenset({ghost})
+    node.on_message(2, MByzGoodLA(1, ids))
+    assert (1, ids) in node._pending_claims
+    assert ids not in node._claims_waiting_on.get(other, set())
+    node._recheck_pending_claims(other)
+    assert (1, ids) in node._pending_claims
+    assert (1, ids) not in node._verified_claims

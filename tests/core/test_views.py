@@ -116,3 +116,70 @@ def test_eq_set_equals_own_restricted_row(adds):
             assert hit[1] == V.restricted_row(0, r)
             assert 0 in hit[0]
             assert len(hit[0]) >= 2  # n - f
+
+
+# ----------------------------------------------------------------------
+# data-plane selection and cache management
+# ----------------------------------------------------------------------
+
+
+def test_viewvector_dispatches_on_the_fast_path_switch():
+    from repro.core.views import BitsetViewVector, ReferenceViewVector
+    from repro.sim.fastpath import slow_path
+
+    assert isinstance(ViewVector(3), BitsetViewVector)
+    with slow_path():
+        assert isinstance(ViewVector(3), ReferenceViewVector)
+    # flipping the switch never affects a live vector, and naming a
+    # plane explicitly ignores the switch (the differential tests rely
+    # on driving both planes side by side)
+    with slow_path():
+        assert type(BitsetViewVector(3)) is BitsetViewVector
+    assert type(ReferenceViewVector(3)) is ReferenceViewVector
+
+
+def test_cache_stats_names_the_plane():
+    from repro.core.views import BitsetViewVector, ReferenceViewVector
+
+    assert BitsetViewVector(2).cache_stats()["plane"] == "bitset"
+    assert ReferenceViewVector(2).cache_stats()["plane"] == "reference"
+
+
+def test_filter_cache_bounded_under_long_update_stream():
+    """10k updates with ever-growing tags: periodic prune_below (what
+    EqAso._gc_old_tags calls) must keep the restriction caches bounded
+    on both planes instead of accreting one entry per tag forever."""
+    from repro.core.views import BitsetViewVector, ReferenceViewVector
+
+    window, prune_every, query_every = 8, 100, 10
+    n = 4
+    for plane_cls in (BitsetViewVector, ReferenceViewVector):
+        V = plane_cls(n)
+        high_water = 0
+        for i in range(10_000):
+            tag = i + 1
+            writer = i % n
+            V.add(writer, ValueTs(f"x{i}", Timestamp(tag, writer), i + 1))
+            if tag % query_every == 0:
+                V.restricted_row(writer, tag)
+            if tag % prune_every == 0:
+                V.prune_below(tag - window)
+                high_water = max(high_water, int(V.cache_stats()["filter_cache"]))
+        stats = V.cache_stats()
+        bound = prune_every + window + 1  # entries since the last prune
+        assert high_water <= bound, (plane_cls.__name__, high_water)
+        assert int(stats["filter_cache"]) <= bound
+        if stats["plane"] == "bitset":
+            # memoized cumulative tag masks are pruned the same way
+            assert int(stats["cum_masks"]) <= bound
+            assert int(stats["interned"]) == 10_000
+
+
+def test_prune_below_never_changes_results():
+    V = ViewVector(2)
+    a, b = vt("a", 1), vt("b", 5, useq=2)
+    V.add(0, a)
+    V.add(0, b)
+    before = (V.restricted_row(0, 3), V.restricted_row(0, 5))
+    V.prune_below(10)  # evicts every cached restriction
+    assert (V.restricted_row(0, 3), V.restricted_row(0, 5)) == before

@@ -1,0 +1,13 @@
+"""Exemption fixture: this *is* the view-plane module (package-relative
+path ``core/views.py``), so RL006 lets it manipulate plane internals —
+including across instances, as the real module does when planes copy."""
+
+
+class FakePlane:
+    def __init__(self):
+        self._rows = [0]
+        self._dirty = 0
+
+    def absorb(self, other):
+        self._rows = list(other._rows)
+        self._dirty |= other._dirty

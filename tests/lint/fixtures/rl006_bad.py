@@ -1,0 +1,9 @@
+"""Deliberately violates RL006: reaches into the view-vector data plane
+of *another* object, coupling itself to one concrete representation."""
+
+
+def peek_plane(vv):
+    rows = vv._rows  # bitset plane only; frozenset plane differs
+    cache = vv._filter_cache
+    masks = vv._interner._tag_masks
+    return rows, cache, masks

@@ -1,0 +1,19 @@
+"""RL006-clean: talks to the view vector through its frozen API, and an
+unrelated class may still own private attributes with colliding names."""
+
+
+class RowTracker:
+    """Defining your own ``_dirty`` is fine — RL006 only flags reaching
+    into *another* object's data-plane internals."""
+
+    def __init__(self):
+        self._dirty = False
+
+    def mark(self):
+        self._dirty = True
+
+
+def summarize(vv, node_id, f):
+    hit = vv.eq_predicate(node_id, f)
+    stats = vv.cache_stats()
+    return hit, stats

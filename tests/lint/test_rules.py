@@ -22,6 +22,7 @@ PAIRS = {
     "RL003": ("rl003_bad_messages.py", "rl003_good_messages.py"),
     "RL004": ("rl004_bad.py", "rl004_good.py"),
     "RL005": ("rl005_bad.py", "rl005_good.py"),
+    "RL006": ("rl006_bad.py", "rl006_good.py"),
 }
 
 
@@ -106,6 +107,20 @@ def test_rl005_transitive_helper_resolution():
     findings = lint_fixture("rl005_bad.py", select=["RL005"])
     assert len(findings) == 1
     assert "UnphasedNode.op" in findings[0].message
+
+
+def test_rl006_flags_each_plane_internal_access():
+    findings = lint_fixture("rl006_bad.py", select=["RL006"])
+    # vv._rows, vv._filter_cache, vv._interner and the chained ._tag_masks
+    assert len(findings) == 4
+    attrs = {f.message.split("'")[1] for f in findings}
+    assert attrs == {"_rows", "_filter_cache", "_interner", "_tag_masks"}
+
+
+def test_rl006_exempts_the_view_plane_module():
+    # package-relative path core/views.py is the plane's home; it may
+    # touch internals freely, including across instances
+    assert lint_fixture("repro/core/views.py", select=["RL006"]) == []
 
 
 def test_findings_are_sorted_and_carry_locations():
