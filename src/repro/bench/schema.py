@@ -54,9 +54,15 @@ _TOP_FIELDS: dict[str, type | tuple[type, ...]] = {
 }
 
 
-def _check_fields(
+def check_fields(
     obj: Any, fields: dict[str, type | tuple[type, ...]], where: str
 ) -> list[str]:
+    """Type-check required keys of one JSON object; returns problems.
+
+    Shared by the bench report validator and the chaos campaign report
+    validator (:mod:`repro.chaos.schema`) — one structural-validation
+    idiom for every checked-in machine-readable report.
+    """
     problems: list[str] = []
     if not isinstance(obj, dict):
         return [f"{where}: expected an object, got {type(obj).__name__}"]
@@ -79,7 +85,7 @@ def _check_fields(
 
 def validate_report(report: Any) -> list[str]:
     """Structurally validate a bench report; returns problems (empty = ok)."""
-    problems = _check_fields(report, _TOP_FIELDS, "report")
+    problems = check_fields(report, _TOP_FIELDS, "report")
     if problems:
         return problems
     if report["schema_version"] != SCHEMA_VERSION:
@@ -93,20 +99,20 @@ def validate_report(report: Any) -> list[str]:
         problems.append("report.cases: empty")
     for i, case in enumerate(report["cases"]):
         where = f"report.cases[{i}]"
-        case_problems = _check_fields(case, _CASE_FIELDS, where)
+        case_problems = check_fields(case, _CASE_FIELDS, where)
         problems.extend(case_problems)
         if case_problems:
             continue
         for side in ("fast", "slow"):
             problems.extend(
-                _check_fields(case[side], _MEASUREMENT_FIELDS, f"{where}.{side}")
+                check_fields(case[side], _MEASUREMENT_FIELDS, f"{where}.{side}")
             )
             present = {
                 key: types
                 for key, types in _OPTIONAL_MEASUREMENT_FIELDS.items()
                 if key in case[side]
             }
-            problems.extend(_check_fields(case[side], present, f"{where}.{side}"))
+            problems.extend(check_fields(case[side], present, f"{where}.{side}"))
         if not case["metrics_identical"]:
             problems.append(
                 f"{where}: metrics_identical is false — fast and slow "
@@ -117,4 +123,4 @@ def validate_report(report: Any) -> list[str]:
     return problems
 
 
-__all__ = ["SCHEMA_VERSION", "validate_report"]
+__all__ = ["SCHEMA_VERSION", "check_fields", "validate_report"]

@@ -1,0 +1,251 @@
+"""Seed-swept chaos campaigns.
+
+A campaign runs ``seeds`` independent random executions per algorithm.
+The i-th execution of algorithm ``algo`` uses the seed
+
+    ``derive_seed(master_seed, "chaos", algo, i)``
+
+so every execution is an independent, addressable random stream: a
+failure report names ``(algo, campaign index)`` and anyone can replay
+exactly that execution with one CLI line — without running the rest of
+the sweep (the :func:`~repro.sim.rng.derive_seed` hygiene rule).
+
+On a failure the campaign delta-debugs the plan
+(:mod:`repro.chaos.shrink`), re-checks the shrunk plan, and exports the
+counterexample bundle (:mod:`repro.chaos.export`).  The campaign report
+is validated against :mod:`repro.chaos.schema` before it is written.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.chaos.export import export_counterexample
+from repro.chaos.gen import generate_plan
+from repro.chaos.algos import get_profile
+from repro.chaos.runner import run_plan
+from repro.chaos.schema import CHAOS_SCHEMA_VERSION, validate_report
+from repro.chaos.shrink import shrink_plan
+from repro.sim.rng import derive_seed
+
+
+@dataclass(slots=True)
+class FailureRecord:
+    """One failure found (and shrunk) during a campaign."""
+
+    algo: str
+    campaign_index: int
+    seed: int
+    kind: str
+    detail: str
+    original_size: tuple[int, int, int]
+    shrunk_size: tuple[int, int, int]
+    shrink_executions: int
+    shrink_moves: list[str]
+    shrunk_plan_dict: dict[str, Any]
+    export_paths: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "campaign_index": self.campaign_index,
+            "kind": self.kind,
+            "detail": self.detail,
+            "original_size": list(self.original_size),
+            "shrunk_size": list(self.shrunk_size),
+            "shrink_executions": self.shrink_executions,
+            "shrink_moves": self.shrink_moves,
+            "shrunk_plan": self.shrunk_plan_dict,
+            "export": self.export_paths,
+        }
+
+
+@dataclass(slots=True)
+class AlgoCampaign:
+    """Per-algorithm campaign outcome."""
+
+    algo: str
+    seeds: list[int]
+    executions: int
+    histories_checked: int
+    cross_validated: int
+    failures: list[FailureRecord]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algo": self.algo,
+            "seeds": self.seeds,
+            "executions": self.executions,
+            "histories_checked": self.histories_checked,
+            "cross_validated": self.cross_validated,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """Whole-campaign outcome (all algorithms)."""
+
+    master_seed: int
+    smoke: bool
+    algos: list[AlgoCampaign]
+
+    @property
+    def total_failures(self) -> int:
+        return sum(len(a.failures) for a in self.algos)
+
+    @property
+    def total_executions(self) -> int:
+        return sum(a.executions for a in self.algos)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": CHAOS_SCHEMA_VERSION,
+            "generated_by": "python -m repro.chaos",
+            "master_seed": self.master_seed,
+            "smoke": self.smoke,
+            "algos": [a.to_dict() for a in self.algos],
+            "total_executions": self.total_executions,
+            "total_failures": self.total_failures,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        for entry in self.algos:
+            status = (
+                "ok"
+                if not entry.failures
+                else f"{len(entry.failures)} FAILURE(S)"
+            )
+            lines.append(
+                f"{entry.algo:24s} seeds={len(entry.seeds):<4d} "
+                f"executions={entry.executions:<5d} "
+                f"cross-validated={entry.cross_validated:<4d} {status}"
+            )
+            for rec in entry.failures:
+                o_ops, o_k, _ = rec.original_size
+                s_ops, s_k, _ = rec.shrunk_size
+                lines.append(
+                    f"  [{rec.kind}] index {rec.campaign_index} "
+                    f"seed {rec.seed}: shrunk {o_ops} ops/{o_k} faults -> "
+                    f"{s_ops} ops/{s_k} faults "
+                    f"({rec.shrink_executions} trials)"
+                )
+                repro = rec.export_paths.get("repro")
+                if repro:
+                    lines.append(f"    repro: see {repro}")
+                else:
+                    lines.append(
+                        f"    repro: python -m repro.chaos --algo {rec.algo} "
+                        f"--seeds {rec.campaign_index}:{rec.campaign_index + 1}"
+                    )
+        return lines
+
+
+def campaign_seed(master_seed: int, algo: str, index: int) -> int:
+    """The i-th execution seed of an algorithm's sweep."""
+    return derive_seed(master_seed, "chaos", algo, index)
+
+
+def run_campaign(
+    algos: Sequence[str],
+    *,
+    seed_range: tuple[int, int],
+    master_seed: int = 0,
+    budget: int = 150,
+    out: Path | None = None,
+    smoke: bool = False,
+    max_ops_per_node: int = 3,
+) -> CampaignReport:
+    """Run a chaos campaign.
+
+    Args:
+        algos: profile names (healthy, Byzantine or mutant).
+        seed_range: half-open campaign-index range ``[lo, hi)``.
+        master_seed: root of every derived stream.
+        budget: shrink-execution budget per failure.
+        out: counterexample/report directory (None = no export).
+        smoke: recorded in the report (CLI preset semantics).
+        max_ops_per_node: workload size knob passed to the generator.
+    """
+    entries: list[AlgoCampaign] = []
+    for algo in algos:
+        profile = get_profile(algo)
+        seeds: list[int] = []
+        failures: list[FailureRecord] = []
+        executions = 0
+        checked = 0
+        validated = 0
+        lo, hi = seed_range
+        for index in range(lo, hi):
+            seed = campaign_seed(master_seed, algo, index)
+            seeds.append(seed)
+            plan = generate_plan(
+                profile, seed, max_ops_per_node=max_ops_per_node
+            )
+            result = run_plan(plan)
+            executions += 1
+            if result.history is not None:
+                checked += 1
+            if result.cross_validated:
+                validated += 1
+            if result.failure is None:
+                continue
+            shrunk = shrink_plan(plan, result, max_executions=budget)
+            executions += shrunk.executions
+            final_failure = shrunk.result.failure
+            assert final_failure is not None  # shrink preserves failure
+            record = FailureRecord(
+                algo=algo,
+                campaign_index=index,
+                seed=seed,
+                kind=final_failure.kind,
+                detail=final_failure.detail,
+                original_size=plan.size(),
+                shrunk_size=shrunk.plan.size(),
+                shrink_executions=shrunk.executions,
+                shrink_moves=shrunk.moves,
+                shrunk_plan_dict=shrunk.plan.to_dict(),
+            )
+            if out is not None:
+                record.export_paths = export_counterexample(
+                    shrunk.plan,
+                    final_failure,
+                    out,
+                    campaign_index=index,
+                    master_seed=master_seed,
+                )
+            failures.append(record)
+        entries.append(
+            AlgoCampaign(
+                algo=algo,
+                seeds=seeds,
+                executions=executions,
+                histories_checked=checked,
+                cross_validated=validated,
+                failures=failures,
+            )
+        )
+    report = CampaignReport(master_seed=master_seed, smoke=smoke, algos=entries)
+    problems = validate_report(report.to_dict())
+    if problems:  # pragma: no cover - defensive: schema drift is a bug
+        raise AssertionError(
+            "campaign report failed its own schema: " + "; ".join(problems)
+        )
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        with (out / "report.json").open("w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+    return report
+
+
+__all__ = [
+    "AlgoCampaign",
+    "CampaignReport",
+    "FailureRecord",
+    "campaign_seed",
+    "run_campaign",
+]

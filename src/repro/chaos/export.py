@@ -1,0 +1,104 @@
+"""Counterexample export — everything needed to replay a failure.
+
+One directory per counterexample (``<out>/<algo>-seed<seed>/``):
+
+- ``plan.json``     — the (shrunk) plan plus the failure record; feeds
+  :func:`repro.chaos.plan.ChaosPlan.from_dict` for programmatic replay;
+- ``history.json``  — the failing :class:`~repro.spec.history.History`
+  via :mod:`repro.spec.serialize`, so the checkers re-run on it without
+  re-simulating;
+- ``trace.jsonl``   — a full observability trace of the failing
+  execution (the plan re-run under a :class:`~repro.obs.Tracer`),
+  replayable with ``python -m repro.obs summary/ops/render trace.jsonl``;
+- ``repro.txt``     — the one-line CLI repro.
+
+The re-run under tracing is guaranteed not to perturb the schedule (the
+PR-3 invariant: tracing keeps the seed-faithful instrumented path), so
+``history.json`` and the span records in ``trace.jsonl`` describe the
+same execution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.chaos.plan import ChaosPlan
+from repro.chaos.runner import Failure, run_plan
+from repro.obs.export import export_jsonl
+from repro.obs.tracer import MemorySink, Tracer
+from repro.spec.serialize import history_to_dict
+
+
+def counterexample_dir(out: Path, plan: ChaosPlan) -> Path:
+    return out / f"{plan.algo}-seed{plan.seed}"
+
+
+def export_counterexample(
+    plan: ChaosPlan,
+    failure: Failure,
+    out: Path,
+    *,
+    campaign_index: int | None = None,
+    master_seed: int | None = None,
+) -> dict[str, Any]:
+    """Write the full counterexample bundle; returns a manifest dict."""
+    target = counterexample_dir(out, plan)
+    target.mkdir(parents=True, exist_ok=True)
+
+    tracer = Tracer(
+        MemorySink(),
+        meta={
+            "chaos_algo": plan.algo,
+            "chaos_seed": plan.seed,
+            "failure": failure.kind,
+        },
+    )
+    result = run_plan(plan, tracer=tracer)
+
+    plan_path = target / "plan.json"
+    with plan_path.open("w") as fh:
+        json.dump(
+            {
+                "plan": plan.to_dict(),
+                "failure": failure.to_dict(),
+                "campaign_index": campaign_index,
+                "master_seed": master_seed,
+            },
+            fh,
+            indent=1,
+            sort_keys=True,
+        )
+
+    history_path = target / "history.json"
+    assert result.history is not None
+    with history_path.open("w") as fh:
+        json.dump(history_to_dict(result.history), fh, indent=1)
+
+    trace_path = target / "trace.jsonl"
+    export_jsonl(tracer, trace_path)
+
+    repro_path = target / "repro.txt"
+    lines = [
+        f"python -m repro.chaos --algo {plan.algo} --plan {plan_path}",
+    ]
+    if campaign_index is not None and master_seed is not None:
+        lines.append(
+            f"python -m repro.chaos --algo {plan.algo} "
+            f"--master-seed {master_seed} "
+            f"--seeds {campaign_index}:{campaign_index + 1}"
+        )
+    lines.append(f"python -m repro.obs summary {trace_path}")
+    repro_path.write_text("\n".join(lines) + "\n")
+
+    return {
+        "dir": str(target),
+        "plan": str(plan_path),
+        "history": str(history_path),
+        "trace": str(trace_path),
+        "repro": str(repro_path),
+    }
+
+
+__all__ = ["counterexample_dir", "export_counterexample"]

@@ -1,0 +1,102 @@
+"""Deliberately broken algorithm variants ("mutants").
+
+A chaos campaign that never fires is indistinguishable from one that
+cannot see: these mutants are the injected faults that prove the loop —
+generator → checker → shrinker → exported counterexample — actually
+closes.  Each weakens exactly one guard of a healthy algorithm behind a
+separate registry entry (they are reachable only by their explicit
+``mut-…`` names, never from the ``--algo all`` sweep), so tests and the
+CLI can demonstrate that a weakened quorum check is caught and shrunk to
+a minimal failing seed.
+
+- :class:`DelporteWeakWriteQuorum` — UPDATE's ``n − f`` write-ack quorum
+  weakened to 1: the writer's own zero-delay self-ack completes the
+  update instantly, before any replica stores the value.  A scan whose
+  confirmation quorum misses the (still in-flight) write then returns a
+  snapshot that omits a *completed* update — a real-time (new/old
+  inversion) violation.  Needs delay jitter or crash interference to
+  surface: exactly what the campaign sweeps.
+
+- :class:`DelporteWeakScanQuorum` — SCAN's identical-view confirmation
+  quorum weakened from ``n − f`` to 1: the scanner's own zero-delay ack
+  always confirms the first collect round, so the scan degenerates to a
+  local read.  Two concurrent local scans at different nodes can return
+  *incomparable* views (each missing the other side's in-flight write) —
+  violating even sequential consistency.  Fires under plain concurrency,
+  so it is caught fast and shrinks small.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.delporte import DelporteAso, MCollect, MWrite
+from repro.chaos.algos import LINEARIZABLE, AlgoProfile
+from repro.runtime.protocol import OpGen, WaitUntil
+
+
+class DelporteWeakWriteQuorum(DelporteAso):
+    """[mutant] write-ack quorum n−f → 1 (see module docstring)."""
+
+    def update(self, value: Any) -> OpGen:
+        self._seq += 1
+        seq = self._seq
+        key = (self.node_id, seq)
+        self._write_acks[key] = set()
+        self.phase_enter("write")
+        self.broadcast(MWrite(self.node_id, seq, value))
+        # mutation: any single ack — in practice the writer's own
+        # zero-delay self-ack — releases the update
+        yield WaitUntil(
+            lambda: len(self._write_acks[key]) >= 1,
+            f"weakened write ack quorum (seq {seq})",
+        )
+        self.phase_exit("write")
+        del self._write_acks[key]
+        return "ACK"
+
+
+class DelporteWeakScanQuorum(DelporteAso):
+    """[mutant] identical-view confirmation quorum n−f → 1."""
+
+    def scan(self) -> OpGen:
+        self.phase_enter("stable-collect")
+        self.collect_rounds += 1
+        reqid = next(self._reqids)
+        acks: dict[int, Any] = {}
+        self._collect_acks[reqid] = acks
+        query_view = self.reg
+        self.broadcast(MCollect(reqid, query_view))
+        # mutation: one ack (the scanner's own) "confirms" the view, so
+        # the stable-collect loop degenerates to a local read
+        yield WaitUntil(
+            lambda: len(acks) >= 1,
+            f"weakened collect quorum (req {reqid})",
+        )
+        del self._collect_acks[reqid]
+        self.phase_exit("stable-collect")
+        return self._to_snapshot(query_view)
+
+
+#: mutant registry — separate namespace from the healthy profiles
+MUTANTS: dict[str, AlgoProfile] = {
+    "mut-delporte-weak-write": AlgoProfile(
+        "mut-delporte-weak-write",
+        DelporteWeakWriteQuorum,
+        LINEARIZABLE,
+        n=5,
+        f=2,
+        mutant_of="delporte",
+    ),
+    "mut-delporte-weak-scan": AlgoProfile(
+        "mut-delporte-weak-scan",
+        DelporteWeakScanQuorum,
+        LINEARIZABLE,
+        n=5,
+        f=2,
+        mutant_of="delporte",
+    ),
+}
+
+
+__all__ = ["MUTANTS", "DelporteWeakScanQuorum", "DelporteWeakWriteQuorum"]

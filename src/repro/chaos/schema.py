@@ -1,0 +1,94 @@
+"""Schema for the chaos campaign report (``--out <dir>/report.json``).
+
+Same hand-rolled structural-validation idiom as the bench report
+(:mod:`repro.bench.schema`, whose :func:`~repro.bench.schema.check_fields`
+is reused here): no external dependency, human-readable problem strings,
+and a CI job that fails fast on schema drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.schema import check_fields
+
+CHAOS_SCHEMA_VERSION = 1
+
+_TOP_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "generated_by": str,
+    "master_seed": int,
+    "smoke": bool,
+    "algos": list,
+    "total_executions": int,
+    "total_failures": int,
+}
+
+_ALGO_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "algo": str,
+    "seeds": list,
+    "executions": int,
+    "histories_checked": int,
+    "cross_validated": int,
+    "failures": list,
+}
+
+_FAILURE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "seed": int,
+    "campaign_index": int,
+    "kind": str,
+    "detail": str,
+    "original_size": list,
+    "shrunk_size": list,
+    "shrink_executions": int,
+    "shrink_moves": list,
+}
+
+
+def validate_report(report: Any) -> list[str]:
+    """Structurally validate a campaign report; returns problems."""
+    problems = check_fields(report, _TOP_FIELDS, "report")
+    if problems:
+        return problems
+    if report["schema_version"] != CHAOS_SCHEMA_VERSION:
+        problems.append(
+            f"report.schema_version: expected {CHAOS_SCHEMA_VERSION}, "
+            f"got {report['schema_version']}"
+        )
+    if not report["algos"]:
+        problems.append("report.algos: empty")
+    total_failures = 0
+    total_execs = 0
+    for i, entry in enumerate(report["algos"]):
+        where = f"report.algos[{i}]"
+        entry_problems = check_fields(entry, _ALGO_FIELDS, where)
+        problems.extend(entry_problems)
+        if entry_problems:
+            continue
+        total_execs += entry["executions"]
+        total_failures += len(entry["failures"])
+        for j, failure in enumerate(entry["failures"]):
+            fwhere = f"{where}.failures[{j}]"
+            fail_problems = check_fields(failure, _FAILURE_FIELDS, fwhere)
+            problems.extend(fail_problems)
+            if fail_problems:
+                continue
+            if failure["kind"] not in ("atomicity", "liveness"):
+                problems.append(
+                    f"{fwhere}.kind: expected atomicity|liveness, "
+                    f"got {failure['kind']!r}"
+                )
+    if not problems:
+        if report["total_failures"] != total_failures:
+            problems.append(
+                f"report.total_failures: {report['total_failures']} does not "
+                f"match the {total_failures} recorded failure entries"
+            )
+        if report["total_executions"] < total_execs:
+            problems.append(
+                "report.total_executions: smaller than the per-algo sum"
+            )
+    return problems
+
+
+__all__ = ["CHAOS_SCHEMA_VERSION", "validate_report"]

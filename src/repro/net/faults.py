@@ -42,6 +42,12 @@ class BroadcastCrash(CrashSpec):
         deliver_to: destinations that still receive the message (the
             "prefix" of the send-to-all loop that completed before the
             crash).  Destinations not in this set never receive it.
+            ``deliver_to`` need not be a subset of the actual broadcast's
+            destination list: the survivors of the truncated send are the
+            *intersection* ``deliver_to ∩ dests`` (a planned survivor the
+            sender was not addressing anyway — e.g. the sender itself on
+            an ``include_self=False`` broadcast — simply receives
+            nothing; it is not an error).
         match: predicate on the broadcast payload; defaults to matching the
             first broadcast the node ever performs.
     """
@@ -73,10 +79,29 @@ class CrashPlan:
         return cls({})
 
     def add(self, node: int, spec: CrashSpec) -> "CrashPlan":
+        """Attach ``spec`` to ``node`` and return ``self``.
+
+        The builder style mutates in place — a plan literal shared across
+        executions would leak its fired/crashed runtime state between
+        runs.  Sweep and campaign code must hand each execution its own
+        plan: either rebuild from specs or take a :meth:`copy`.
+        """
         if node in self._specs:
             raise ValueError(f"node {node} already has a crash spec")
         self._specs[node] = spec
         return self
+
+    def copy(self) -> "CrashPlan":
+        """A fresh plan with the same specs and pristine runtime state.
+
+        The ``_crashed`` / ``_fired`` sets of the copy start empty, so a
+        plan template can be reused across executions without one run's
+        crashes leaking into the next.  Specs themselves are shared (they
+        are frozen); note that a ``match`` predicate closing over mutable
+        state is *not* reset by ``copy()`` — build such predicates fresh
+        per run (as the chaos generator does).
+        """
+        return CrashPlan(self._specs)
 
     def __len__(self) -> int:
         return len(self._specs)
@@ -118,8 +143,16 @@ class CrashPlan:
 
         Returns ``(surviving destinations, crash_now)``.  Each
         BroadcastCrash fires at most once (the node is dead afterwards
-        anyway).
+        anyway).  A node that is *already* crashed sends nothing: a
+        broadcast that reaches the network after the node's
+        :class:`CrashAtTime` fired (e.g. a queued send flushed late, or a
+        fuzzer-built plan that crashes the node through another path)
+        must neither be delivered nor fire the BroadcastCrash.  The
+        survivors of a fired crash are ``deliver_to ∩ dests`` (see
+        :class:`BroadcastCrash`).
         """
+        if node in self._crashed:
+            return [], False
         spec = self._specs.get(node)
         if (
             isinstance(spec, BroadcastCrash)
@@ -136,6 +169,7 @@ def chain_crash_plan(
     chain: Sequence[int],
     *,
     match: Callable[[Any], bool] | None = None,
+    matches: Sequence[Callable[[Any], bool] | None] | None = None,
 ) -> CrashPlan:
     """Build a failure chain (Definition 11) over ``chain`` nodes.
 
@@ -143,14 +177,35 @@ def chain_crash_plan(
     the matching value so that only the next node in the chain receives it;
     ``pm`` (the last element) stays correct.  Returns a plan with
     ``k = m - 1`` crashes.
+
+    ``match`` applies one shared predicate to every hop — fine when the
+    predicate identifies the chain's value (the usual
+    ``value_match_factory`` case), but wrong when hops must key on
+    different payloads: with ``match=None`` (first-broadcast-ever) a hop
+    that re-forwards an unrelated message first crashes on the *wrong*
+    broadcast and decapitates the chain.  ``matches`` supplies one
+    predicate per crashing hop (``len(matches) == len(chain) - 1``; an
+    entry of ``None`` means "first broadcast ever" for that hop) and is
+    mutually exclusive with ``match``.
     """
     if len(chain) < 2:
         raise ValueError("a failure chain needs at least 2 nodes")
     if len(set(chain)) != len(chain):
         raise ValueError("chain nodes must be distinct")
+    if matches is not None:
+        if match is not None:
+            raise ValueError("pass either match or matches, not both")
+        if len(matches) != len(chain) - 1:
+            raise ValueError(
+                f"matches must have one predicate per crashing hop "
+                f"({len(chain) - 1}), got {len(matches)}"
+            )
     plan = CrashPlan()
     for i in range(len(chain) - 1):
-        plan.add(chain[i], BroadcastCrash(deliver_to=(chain[i + 1],), match=match))
+        hop_match = matches[i] if matches is not None else match
+        plan.add(
+            chain[i], BroadcastCrash(deliver_to=(chain[i + 1],), match=hop_match)
+        )
     return plan
 
 

@@ -1,0 +1,53 @@
+"""Shrinking: reductions preserve failure, terminate, and are deterministic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.campaign import campaign_seed
+from repro.chaos.gen import generate_plan
+from repro.chaos.algos import get_profile
+from repro.chaos.runner import run_plan
+from repro.chaos.shrink import shrink_plan
+
+#: a campaign index (master seed 0) known to catch the weak-write mutant
+FAILING_INDEX = 26
+MUTANT = "mut-delporte-weak-write"
+
+
+@pytest.fixture(scope="module")
+def failing_execution():
+    seed = campaign_seed(0, MUTANT, FAILING_INDEX)
+    plan = generate_plan(get_profile(MUTANT), seed)
+    result = run_plan(plan)
+    assert result.failure is not None, "known-failing seed regressed"
+    return plan, result
+
+
+def test_shrink_preserves_failure_and_reduces(failing_execution):
+    plan, result = failing_execution
+    shrunk = shrink_plan(plan, result, max_executions=80)
+    assert shrunk.result.failure is not None
+    assert shrunk.plan.size() <= plan.size()
+    assert shrunk.moves, "a generated failing plan should admit reductions"
+    # local minimality within budget: re-shrinking is a no-op
+    again = shrink_plan(shrunk.plan, shrunk.result, max_executions=80)
+    if shrunk.executions < 80:
+        assert again.moves == []
+
+
+def test_shrink_is_deterministic(failing_execution):
+    plan, result = failing_execution
+    a = shrink_plan(plan, result, max_executions=80)
+    b = shrink_plan(plan, result, max_executions=80)
+    assert a.plan == b.plan
+    assert a.moves == b.moves
+    assert a.executions == b.executions
+
+
+def test_zero_budget_returns_original(failing_execution):
+    plan, result = failing_execution
+    shrunk = shrink_plan(plan, result, max_executions=0)
+    assert shrunk.plan == plan
+    assert shrunk.executions == 0
+    assert shrunk.result is result

@@ -81,6 +81,7 @@ def test_registry_contains_all_experiments():
         "la",
         "messages",
         "trace",
+        "chaos",
     }
 
 

@@ -75,3 +75,107 @@ def test_chain_requires_two_distinct_nodes():
         chain_crash_plan([0])
     with pytest.raises(ValueError):
         chain_crash_plan([0, 0])
+
+
+def test_filter_broadcast_guards_already_crashed_node():
+    # a queued broadcast flushed after the node already crashed (e.g. a
+    # CrashAtTime fired, or a fuzzer-built double-crash path) must send
+    # nothing and must not fire the BroadcastCrash
+    plan = CrashPlan({0: BroadcastCrash(deliver_to=(1, 2))})
+    plan.mark_crashed(0)
+    dests, crash = plan.filter_broadcast(0, "late", [1, 2, 3])
+    assert dests == [] and not crash
+    # the spec did not burn its single shot either: an (impossible in the
+    # runtime, but defensive) resurrection would still see it unfired
+    assert 0 not in plan._fired
+
+
+def test_deliver_to_outside_dests_is_intersected():
+    # survivors are deliver_to ∩ dests: planned survivors the sender was
+    # not addressing (e.g. itself on include_self=False) receive nothing
+    plan = CrashPlan({0: BroadcastCrash(deliver_to=(0, 2, 9))})
+    dests, crash = plan.filter_broadcast(0, "m", [1, 2, 3])
+    assert dests == [2] and crash
+
+
+def test_crash_plan_copy_has_fresh_runtime_state():
+    template = CrashPlan({0: BroadcastCrash(deliver_to=(2,)), 1: CrashAtTime(3.0)})
+    run1 = template.copy()
+    dests, crash = run1.filter_broadcast(0, "m", [1, 2])
+    assert dests == [2] and crash
+    run1.mark_crashed(0)
+    run1.mark_crashed(1)
+    # neither the fired shot nor the crashed set leaks into a second run
+    run2 = template.copy()
+    assert run2.crashed_nodes == frozenset()
+    dests, crash = run2.filter_broadcast(0, "m", [1, 2])
+    assert dests == [2] and crash
+    # the template itself is also untouched
+    assert template.crashed_nodes == frozenset()
+    dests, crash = template.filter_broadcast(0, "m", [1, 2])
+    assert dests == [2] and crash
+
+
+def test_crash_plan_copy_preserves_specs():
+    template = CrashPlan({4: CrashAtTime(1.5)})
+    clone = template.copy()
+    assert clone.k == 1
+    assert clone.timed_crashes() == [(4, 1.5)]
+    with pytest.raises(ValueError):
+        clone.add(4, CrashAtTime(2.0))
+
+
+def test_chain_per_hop_matches():
+    doom = lambda p: p == "doom"  # noqa: E731
+    plan = chain_crash_plan([0, 1, 2], matches=[None, doom])
+    # hop 0: first broadcast ever
+    dests, crash = plan.filter_broadcast(0, "anything", [1, 2])
+    assert dests == [1] and crash
+    # hop 1: only the doomed payload fires
+    dests, crash = plan.filter_broadcast(1, "benign", [0, 2])
+    assert dests == [0, 2] and not crash
+    dests, crash = plan.filter_broadcast(1, "doom", [0, 2])
+    assert dests == [2] and crash
+
+
+def test_chain_matches_validation():
+    with pytest.raises(ValueError):
+        chain_crash_plan([0, 1, 2], match=lambda p: True, matches=[None, None])
+    with pytest.raises(ValueError):
+        chain_crash_plan([0, 1, 2], matches=[None])  # one per crashing hop
+
+
+def test_chain_shared_match_misfires_on_reforwarded_traffic():
+    """The satellite-2 regression, end-to-end: with one shared ``match``
+    (here ``None`` = first-broadcast-ever) a chain hop that broadcasts
+    unrelated traffic first crashes on the *wrong* broadcast and the chain
+    value never crawls; per-hop value predicates crash each hop exactly
+    while forwarding the chain value."""
+    from repro.core import EqAso
+    from repro.core.messages import MValue
+    from repro.runtime.cluster import Cluster
+
+    def run(plan):
+        cluster = Cluster(EqAso, n=5, f=2, crash_plan=plan)
+        # node 2 (a chain hop) issues its own update first, so its first
+        # broadcast is unrelated to the chain value of writer 1
+        own = cluster.invoke_at(0.0, 2, "update", "own2")
+        cluster.invoke_at(4.0, 1, "update", "doom1")
+        probe = cluster.invoke_at(14.0, 4, "scan")
+        cluster.run_until_complete([probe])
+        return cluster, own
+
+    # shared match=None: node 2 crashes at t=0 on its own update's first
+    # broadcast — before the chain value even exists
+    cluster, own = run(chain_crash_plan([1, 2, 0]))
+    assert cluster.crash_plan.is_crashed(2)
+    assert own.aborted and not own.done
+
+    # per-hop predicates keyed on writer 1's value: node 2's own update
+    # completes untouched; both hops crash only on the chain value
+    def carries_w1(p):
+        return isinstance(p, MValue) and p.vt.writer == 1
+
+    cluster, own = run(chain_crash_plan([1, 2, 0], matches=[carries_w1, carries_w1]))
+    assert own.done and not own.aborted
+    assert cluster.crash_plan.crashed_nodes == frozenset({1, 2})
