@@ -6,11 +6,13 @@ Examples::
     python -m repro.bench table1 scale_k        # just the lockstep cases
     python -m repro.bench --smoke               # CI-sized, ~seconds
     python -m repro.bench --validate BENCH_macro.json
+    python -m repro.bench --smoke --baseline BENCH_macro.json  # perf gate
 
 The report is written to ``--out`` (default ``BENCH_macro.json``) and a
 summary table is printed.  Exit status is non-zero if the fast and
-reference substrates disagree on any paper-facing metric, or if
-``--validate`` finds schema problems.
+reference substrates disagree on any paper-facing metric, if
+``--validate`` finds schema problems, or if ``--baseline`` detects a
+perf regression (see :mod:`repro.bench.compare` for the gate rules).
 """
 
 from __future__ import annotations
@@ -54,6 +56,20 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="validate an existing report against the schema and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="diff the fresh report against this one and fail on a "
+        "perf regression or metrics_identical break",
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed slowdown before the baseline gate fails "
+        "(default: 0.15)",
+    )
     args = parser.parse_args(argv)
 
     if args.validate is not None:
@@ -86,6 +102,32 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(format_report(report))
     print(f"wrote {args.out}")
+
+    if args.baseline is not None:
+        from repro.bench.compare import (
+            DEFAULT_TOLERANCE,
+            compare_reports,
+            format_comparison,
+        )
+
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.baseline}: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_report(baseline)
+        if problems:
+            for problem in problems:
+                print(f"baseline invalid: {problem}", file=sys.stderr)
+            return 1
+        tolerance = (
+            args.baseline_tolerance
+            if args.baseline_tolerance is not None
+            else DEFAULT_TOLERANCE
+        )
+        problems = compare_reports(report, baseline, tolerance=tolerance)
+        print(format_comparison(report, baseline, problems))
+        return 1 if problems else 0
     return 0
 
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.bench.schema import SCHEMA_VERSION
+from repro.obs.registry import telemetry
 from repro.sim.fastpath import STATS, set_fast_path
 
 
@@ -176,6 +177,7 @@ def _measure(
     walls: list[float] = []
     fingerprints: list[str] = []
     deltas: dict[str, int] = {}
+    tele = telemetry()
     for _ in range(repeats):
         gc.collect()
         before = STATS.counters()
@@ -185,7 +187,10 @@ def _measure(
         after = STATS.counters()
         deltas = {name: after[name] - before[name] for name in after}
         fingerprints.append(_fingerprint(metrics))
+        tele.counter("bench.repeats").inc()
+        tele.histogram("bench.wall_s").observe(walls[-1])
     if len(set(fingerprints)) != 1:
+        tele.counter("bench.fingerprint_mismatches").inc()
         raise FingerprintMismatch(
             f"non-deterministic workload: {sorted(set(fingerprints))}"
         )
@@ -221,7 +226,9 @@ def run_case(
         slow, slow_fp = _measure(workload, repeats=repeats, warmup=warmup)
     finally:
         set_fast_path(previous)
+    telemetry().counter("bench.cases").inc()
     if fast_fp != slow_fp:
+        telemetry().counter("bench.fingerprint_mismatches").inc()
         raise FingerprintMismatch(
             f"case {case.name!r}: fast substrate metrics differ from the "
             f"reference substrate ({fast_fp[:12]} != {slow_fp[:12]}) — "

@@ -29,6 +29,7 @@ from repro.chaos.algos import get_profile
 from repro.chaos.runner import run_plan
 from repro.chaos.schema import CHAOS_SCHEMA_VERSION, validate_report
 from repro.chaos.shrink import shrink_plan
+from repro.obs.registry import telemetry
 from repro.sim.rng import derive_seed
 
 
@@ -171,6 +172,7 @@ def run_campaign(
         smoke: recorded in the report (CLI preset semantics).
         max_ops_per_node: workload size knob passed to the generator.
     """
+    tele = telemetry()
     entries: list[AlgoCampaign] = []
     for algo in algos:
         profile = get_profile(algo)
@@ -188,14 +190,18 @@ def run_campaign(
             )
             result = run_plan(plan)
             executions += 1
+            tele.counter("chaos.executions").inc()
             if result.history is not None:
                 checked += 1
             if result.cross_validated:
                 validated += 1
+                tele.counter("chaos.cross_validated").inc()
             if result.failure is None:
                 continue
+            tele.counter("chaos.failures").inc()
             shrunk = shrink_plan(plan, result, max_executions=budget)
             executions += shrunk.executions
+            tele.counter("chaos.shrink_executions").inc(shrunk.executions)
             final_failure = shrunk.result.failure
             assert final_failure is not None  # shrink preserves failure
             record = FailureRecord(

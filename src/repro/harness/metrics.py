@@ -11,7 +11,11 @@ Statistics are computed through the observability layer's
 percentiles; :func:`collect_registry` aggregates a whole handle set into
 a :class:`repro.obs.metrics.MetricsRegistry` (latency, per-D rounds and
 per-op message counts, split by operation kind) for the table and
-scaling harnesses.
+scaling harnesses.  ``MetricsRegistry`` is the exact-histogram end of
+the registry-v2 telemetry plane (:mod:`repro.obs.registry`): paper
+tables stay byte-reproducible here, while live runs use the bounded
+``HdrHistogram`` backend of the same :class:`~repro.obs.registry.Registry`
+interface.
 """
 
 from __future__ import annotations

@@ -111,6 +111,10 @@ class Network:
         self.sent_by_node: list[int] = [0] * n
         self.trace: list[DeliveryRecord] = []
         self._record_trace = record_trace
+        #: ordered channels currently gated by :meth:`disconnect`, and the
+        #: sends parked on them awaiting :meth:`reconnect` (FIFO)
+        self._gated: set[tuple[int, int]] = set()
+        self._parked: dict[tuple[int, int], list[Any]] = {}
         self._tracer = tracer if (tracer is not None and tracer.enabled) else None
         #: constant per-message delay, or None for model-driven sampling
         self._const_delay: float | None = (
@@ -132,6 +136,39 @@ class Network:
     def D(self) -> float:
         """The maximum message delay (observer-only knowledge)."""
         return self.delay_model.D
+
+    # ------------------------------------------------------------------
+    # link gating (temporary partitions)
+    # ------------------------------------------------------------------
+    def disconnect(self, src: int, dst: int) -> None:
+        """Gate the ordered channel ``src -> dst``: subsequent sends are
+        parked (in order) until :meth:`reconnect` releases them.
+
+        While a link is gated the synchrony bound ``delay <= D`` does not
+        hold for its parked messages — a partition suspends the bound by
+        definition; reliability and FIFO order are preserved.  Messages
+        already in flight when the gate closes still deliver.  Gating
+        needs per-message bookkeeping, so the first call permanently
+        reverts a compiled fast send path to the reference path (gated
+        runs are observability runs; benches never gate).
+        """
+        if "send" in self.__dict__:  # compiled fast path: revert
+            del self.send
+            del self.broadcast
+        self._gated.add((src, dst))
+        if self._tracer is not None:
+            self._tracer.on_link(src, dst, up=False)
+
+    def reconnect(self, src: int, dst: int) -> None:
+        """Release a gated channel, scheduling its parked sends with
+        fresh delays sampled at release time (FIFO clamp keeps order)."""
+        if (src, dst) not in self._gated:
+            return
+        self._gated.discard((src, dst))
+        if self._tracer is not None:
+            self._tracer.on_link(src, dst, up=True)
+        for payload in self._parked.pop((src, dst), []):
+            self._schedule_delivery(src, dst, payload)
 
     # ------------------------------------------------------------------
     # fast path (compiled in __init__ when untraced)
@@ -237,6 +274,17 @@ class Network:
         """Hand one message to the network (reliable from this point on)."""
         if not (0 <= src < self.n and 0 <= dst < self.n):
             raise ValueError(f"bad endpoints {src}->{dst} for n={self.n}")
+        self.messages_sent += 1
+        self.sent_by_node[src] += 1
+        STATS.messages += 1
+        if self._tracer is not None:
+            self._tracer.on_send(src, dst, payload)
+        if (src, dst) in self._gated:
+            self._parked.setdefault((src, dst), []).append(payload)
+            return
+        self._schedule_delivery(src, dst, payload)
+
+    def _schedule_delivery(self, src: int, dst: int, payload: Any) -> None:
         now = self.sim.now
         delay = self.delay_model.delay_for(src, dst, payload, now)
         deliver_at = now + delay
@@ -245,11 +293,6 @@ class Network:
         if deliver_at < prev:
             deliver_at = prev  # FIFO clamp; see module docstring
         self._last_delivery_map[pair] = deliver_at
-        self.messages_sent += 1
-        self.sent_by_node[src] += 1
-        STATS.messages += 1
-        if self._tracer is not None:
-            self._tracer.on_send(src, dst, payload)
         self.sim.schedule_at(
             deliver_at,
             lambda: self._arrive(src, dst, payload, now),

@@ -27,32 +27,56 @@ Quickstart::
     export_jsonl(tracer, "trace.jsonl")
 """
 
+from repro.obs.coverage import Coverage
 from repro.obs.describe import describe_payload
 from repro.obs.events import EVENT_KINDS, TraceEvent
 from repro.obs.export import dumps_trace, export_jsonl, read_trace, write_trace
+from repro.obs.flight import FlightRecorder, dump_postmortem
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, percentiles
 from repro.obs.query import Trace, render_spacetime
+from repro.obs.replay import ReplayError, ReplayResult, history_from_trace, replay_check
+from repro.obs.registry import (
+    Gauge,
+    HdrHistogram,
+    NullRegistry,
+    Registry,
+    set_telemetry,
+    telemetry,
+)
 from repro.obs.spans import OpSpan, PhaseRecord
 from repro.obs.tracer import EventSink, MemorySink, NullSink, Tracer
 
 __all__ = [
     "EVENT_KINDS",
     "Counter",
+    "Coverage",
     "EventSink",
+    "FlightRecorder",
+    "Gauge",
+    "HdrHistogram",
     "Histogram",
     "MemorySink",
     "MetricsRegistry",
+    "NullRegistry",
     "NullSink",
     "OpSpan",
     "PhaseRecord",
+    "Registry",
+    "ReplayError",
+    "ReplayResult",
     "Trace",
     "TraceEvent",
     "Tracer",
     "describe_payload",
+    "dump_postmortem",
     "dumps_trace",
     "export_jsonl",
+    "history_from_trace",
     "percentiles",
     "read_trace",
     "render_spacetime",
+    "replay_check",
+    "set_telemetry",
+    "telemetry",
     "write_trace",
 ]

@@ -5,8 +5,11 @@ Subcommands::
     demo     run a seeded 5-node EQ-ASO workload with tracing and export
              the JSONL trace (the worked example in EXPERIMENTS.md)
     summary  aggregate counts of an exported trace
+    check    replay a trace's operations through the spec checkers
     ops      per-operation accounting (latency in D, phases, messages)
     phases   mean per-phase decomposition for one operation kind
+    coverage phase/fault/interleaving coverage vector of a trace
+    top      one-screen dashboard (--watch to repaint live)
     filter   select events by node / kind / message / op / time window
     render   the text space-time diagram (trace_viz, but file-based)
 
@@ -68,8 +71,53 @@ def _demo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: structural contract of ``summary --format json`` (validated through
+#: the bench schema's shared ``check_fields`` before printing)
+SUMMARY_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "events": int,
+    "spans": int,
+    "D": (int, float),
+    "by_kind": dict,
+    "sends_by_message": dict,
+    "sends_by_node": dict,
+}
+
+#: structural contract of ``phases --format json``
+PHASES_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "ops": int,
+    "end_to_end_D": (int, float),
+    "phases_D": dict,
+}
+
+#: structural contract of ``coverage --format json``
+COVERAGE_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "phases": dict,
+    "faults": dict,
+    "interleavings": dict,
+    "distinct": dict,
+}
+
+
+def _emit_json(obj: dict, fields: dict, where: str) -> int:
+    """Validate a CLI JSON payload against its contract, then print it."""
+    import json
+
+    from repro.bench.schema import check_fields
+
+    problems = check_fields(obj, fields, where)
+    if problems:  # pragma: no cover - defensive: contract drift is a bug
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print(json.dumps(obj, indent=1, sort_keys=True))
+    return 0
+
+
 def _summary(args: argparse.Namespace) -> int:
-    print("\n".join(Trace.load(args.trace).summary_lines()))
+    trace = Trace.load(args.trace)
+    if args.format == "json":
+        return _emit_json(trace.summary_dict(), SUMMARY_FIELDS, "summary")
+    print("\n".join(trace.summary_lines()))
     return 0
 
 
@@ -87,6 +135,8 @@ def _phases(args: argparse.Namespace) -> int:
         which = "" if args.kind is None else f" of kind {args.kind!r}"
         print(f"no completed operations{which} in trace", file=sys.stderr)
         return 1
+    if args.format == "json":
+        return _emit_json(totals, PHASES_FIELDS, "phases")
     print(f"ops: {totals['ops']}")
     print(f"end-to-end: {totals['end_to_end_D']:.2f}D")
     for name, value in totals["phases_D"].items():
@@ -123,6 +173,54 @@ def _filter(args: argparse.Namespace) -> int:
     if len(events) > args.limit:
         print(f"... ({len(events) - args.limit} more; raise --limit)")
     return 0
+
+
+def _check(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_trace
+    from repro.obs.replay import ReplayError, replay_check
+
+    meta, _events, spans = read_trace(args.trace)
+    try:
+        result = replay_check(meta, spans, level=args.level)
+    except ReplayError as exc:
+        print(f"error: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        print("\n".join(result.summary_lines()))
+    return 0 if result.ok else 1
+
+
+def _coverage(args: argparse.Namespace) -> int:
+    from repro.obs.coverage import Coverage
+
+    cov = Coverage.load(args.trace)
+    if args.baseline is not None:
+        novel = cov.novel_keys(Coverage.load(args.baseline))
+        if args.format == "json":
+            import json
+
+            print(json.dumps(novel, indent=1, sort_keys=True))
+        else:
+            total = sum(len(keys) for keys in novel.values())
+            print(f"novel keys vs {args.baseline}: {total}")
+            for space, keys in novel.items():
+                for key in keys:
+                    print(f"  {space}: {key}")
+        return 0
+    if args.format == "json":
+        return _emit_json(cov.to_dict(), COVERAGE_FIELDS, "coverage")
+    print("\n".join(cov.summary_lines()))
+    return 0
+
+
+def _top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(args.trace, watch=args.watch, tail=args.tail)
 
 
 def _render(args: argparse.Namespace) -> int:
@@ -167,7 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = sub.add_parser("summary", help="aggregate counts of a trace")
     summary.add_argument("trace")
+    summary.add_argument("--format", choices=("text", "json"), default="text")
     summary.set_defaults(func=_summary)
+
+    check = sub.add_parser(
+        "check",
+        help="replay-check a trace against the spec checkers "
+        "(exit 0 = consistent, 1 = counterexample, 2 = not replayable)",
+    )
+    check.add_argument("trace")
+    check.add_argument(
+        "--level",
+        choices=("linearizable", "sequential"),
+        default=None,
+        help="consistency level to require (default: inferred from the "
+        "trace's algorithm metadata)",
+    )
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.set_defaults(func=_check)
 
     ops = sub.add_parser("ops", help="per-operation latency/phase/message table")
     ops.add_argument("trace")
@@ -178,7 +293,33 @@ def build_parser() -> argparse.ArgumentParser:
     phases = sub.add_parser("phases", help="mean per-phase decomposition")
     phases.add_argument("trace")
     phases.add_argument("--kind", default=None, help="operation kind (scan/update)")
+    phases.add_argument("--format", choices=("text", "json"), default="text")
     phases.set_defaults(func=_phases)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="phase/fault/interleaving coverage vector of a trace",
+    )
+    coverage.add_argument("trace")
+    coverage.add_argument(
+        "--baseline",
+        default=None,
+        help="another trace; report only keys novel relative to it",
+    )
+    coverage.add_argument("--format", choices=("text", "json"), default="text")
+    coverage.set_defaults(func=_coverage)
+
+    top = sub.add_parser("top", help="one-screen dashboard for long runs")
+    top.add_argument("trace")
+    top.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="repaint every SECS seconds until interrupted",
+    )
+    top.add_argument("--tail", type=int, default=8, help="event tail length")
+    top.set_defaults(func=_top)
 
     filt = sub.add_parser("filter", help="select events")
     filt.add_argument("trace")

@@ -1,0 +1,186 @@
+"""Coverage accounting: what has an execution actually explored?
+
+A trace proves more than "the run passed": it records *which* protocol
+phases ran, *where* faults landed relative to those phases, and *which*
+operation interleavings occurred.  This module folds any exported trace
+into a :class:`Coverage` vector over three key spaces:
+
+- **phases** — ``"<op kind>/<phase name>"`` for every phase interval an
+  operation span recorded (``"scan/(unphased)"`` marks spans with no
+  annotations, so missing instrumentation is itself visible);
+- **faults** — ``"<fault kind>@<op kind>.<phase>"`` locating each
+  crash/drop/disconnect/reconnect/backpressure event inside the phase
+  the affected node was executing (``"crash@idle"`` when it was not
+  mid-operation) — fault *timing* coverage, not just fault counts;
+- **interleavings** — ``"<op kind>~<sorted overlapping kinds>"`` per
+  completed operation (``"scan~solo"`` for uncontended ones), the
+  concurrency patterns the schedule actually exercised.
+
+Vectors :meth:`~Coverage.merge` across runs, so a chaos campaign can
+accumulate one vector per seed sweep; :meth:`~Coverage.novel_keys`
+reports what a new trace explored that a baseline had not — the signal
+an adaptive adversary steers on (ROADMAP: "obs phase accounting as its
+coverage signal").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+#: the three coverage key spaces, in reporting order
+SPACES: tuple[str, ...] = ("phases", "faults", "interleavings")
+
+#: event kinds that count as faults (timing-located in the fault space)
+FAULT_KINDS: tuple[str, ...] = (
+    "crash",
+    "drop",
+    "disconnect",
+    "reconnect",
+    "backpressure",
+)
+
+Record = dict[str, Any]
+
+
+def _active_phase(spans: list[Record], node: int, t: float) -> str:
+    """The ``"<kind>.<phase>"`` the node was in at time ``t`` (deepest
+    open phase of its active span), or ``"idle"``."""
+    for span in spans:
+        if span.get("node") != node or span["t_inv"] > t:
+            continue
+        t_resp = span.get("t_resp")
+        if t_resp is not None and t_resp < t:
+            continue
+        best_name, best_depth = None, -1
+        for ph in span.get("phases", ()):
+            t_end = ph.get("t_end")
+            if ph["t_start"] > t or (t_end is not None and t_end < t):
+                continue
+            if ph.get("depth", 0) > best_depth:
+                best_name, best_depth = ph["name"], ph.get("depth", 0)
+        if best_name is None:
+            return f"{span['kind']}.(between-phases)"
+        return f"{span['kind']}.{best_name}"
+    return "idle"
+
+
+def _overlap_signature(spans: list[Record], me: Record) -> str:
+    """Sorted ``+``-joined kinds of the spans overlapping ``me`` in
+    time (crashed/open spans extend to +inf), or ``"solo"``."""
+    start = me["t_inv"]
+    end = me.get("t_resp")
+    kinds: set[str] = set()
+    for other in spans:
+        if other is me:
+            continue
+        o_start = other["t_inv"]
+        o_end = other.get("t_resp")
+        if o_end is not None and o_end < start:
+            continue
+        if end is not None and o_start > end:
+            continue
+        kinds.add(other["kind"])
+    return "+".join(sorted(kinds)) if kinds else "solo"
+
+
+@dataclass
+class Coverage:
+    """One coverage vector: per-space ``key -> observation count``."""
+
+    phases: dict[str, int] = field(default_factory=dict)
+    faults: dict[str, int] = field(default_factory=dict)
+    interleavings: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        meta: Record,
+        events: list[Record],
+        spans: list[Record],
+    ) -> "Coverage":
+        """Fold one exported trace (``read_trace`` dicts) into a vector."""
+        cov = cls()
+        for span in spans:
+            phs = [ph for ph in span.get("phases", ())]
+            if not phs:
+                _bump(cov.phases, f"{span['kind']}/(unphased)")
+            for ph in phs:
+                _bump(cov.phases, f"{span['kind']}/{ph['name']}")
+            _bump(
+                cov.interleavings,
+                f"{span['kind']}~{_overlap_signature(spans, span)}",
+            )
+        for ev in events:
+            if ev["kind"] not in FAULT_KINDS:
+                continue
+            where = _active_phase(spans, ev["node"], ev["t"])
+            _bump(cov.faults, f"{ev['kind']}@{where}")
+        return cov
+
+    @classmethod
+    def load(cls, source: str | IO[str]) -> "Coverage":
+        """Coverage of a JSONL trace file (or open stream)."""
+        from repro.obs.export import read_trace
+
+        return cls.from_trace(*read_trace(source))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Coverage") -> "Coverage":
+        """Accumulate another vector into this one (returns self)."""
+        for space in SPACES:
+            mine, theirs = getattr(self, space), getattr(other, space)
+            for key, count in theirs.items():
+                mine[key] = mine.get(key, 0) + count
+        return self
+
+    def novel_keys(self, baseline: "Coverage") -> dict[str, list[str]]:
+        """Keys this vector covers that ``baseline`` does not, per space
+        — the steering signal for coverage-guided schedule search."""
+        return {
+            space: sorted(
+                set(getattr(self, space)) - set(getattr(baseline, space))
+            )
+            for space in SPACES
+        }
+
+    def distinct(self) -> dict[str, int]:
+        """Distinct-key tally per space (the scalar coverage summary)."""
+        return {space: len(getattr(self, space)) for space in SPACES}
+
+    def total(self) -> int:
+        """Total distinct keys across all spaces."""
+        return sum(self.distinct().values())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe vector: sorted per-space counts plus the tally."""
+        out: dict[str, Any] = {
+            space: dict(sorted(getattr(self, space).items()))
+            for space in SPACES
+        }
+        out["distinct"] = self.distinct()
+        return out
+
+    def summary_lines(self) -> list[str]:
+        tally = self.distinct()
+        lines = [
+            "coverage: "
+            + ", ".join(f"{tally[space]} {space}" for space in SPACES)
+        ]
+        for space in SPACES:
+            keys = getattr(self, space)
+            if not keys:
+                continue
+            lines.append(f"{space}:")
+            for key, count in sorted(keys.items()):
+                lines.append(f"  {key:36s} {count}")
+        return lines
+
+
+def _bump(space: dict[str, int], key: str) -> None:
+    space[key] = space.get(key, 0) + 1
+
+
+__all__ = ["FAULT_KINDS", "SPACES", "Coverage"]

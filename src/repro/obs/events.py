@@ -29,6 +29,9 @@ EVENT_KINDS: tuple[str, ...] = (
     "deliver",
     "drop",
     "crash",
+    "disconnect",
+    "reconnect",
+    "backpressure",
     "op-invoke",
     "op-respond",
     "op-abort",
@@ -63,7 +66,9 @@ class TraceEvent:
         lamport: logical clock value (see module docstring).
         node: the node the event is attributed to (the receiver for
             ``deliver``/``drop``, the sender for ``send``).
-        src, dst: message endpoints (message events only).
+        src, dst: message endpoints (message and link events:
+            ``disconnect``/``reconnect`` name the gated ordered channel,
+            ``backpressure`` the congested one).
         msg: short human label of the payload (message events only);
             produced by :func:`repro.obs.describe.describe_payload`.
         op_id: trace-unique operation id (operation/phase events).

@@ -23,7 +23,7 @@ from typing import IO, Any, Iterable
 
 from repro.obs.events import TraceEvent
 from repro.obs.spans import OpSpan
-from repro.obs.tracer import MemorySink, Tracer
+from repro.obs.tracer import Tracer
 
 TRACE_VERSION = 1
 
@@ -61,29 +61,36 @@ def write_trace(
     return lines
 
 
+def _retained_events(tracer: Tracer) -> Iterable[TraceEvent]:
+    """The events a tracer's sink kept; raises for non-retaining sinks.
+
+    Accepts any sink exposing an ``events`` collection — the unbounded
+    :class:`MemorySink` or the bounded
+    :class:`~repro.obs.flight.FlightRecorder` ring buffer."""
+    events = getattr(tracer.sink, "events", None)
+    if events is None:
+        raise TypeError(
+            "export needs a retaining sink (MemorySink or FlightRecorder), "
+            f"got {type(tracer.sink).__name__}"
+        )
+    return events
+
+
 def export_jsonl(tracer: Tracer, path: str | Path) -> int:
     """Export everything a tracer collected to ``path`` (JSONL).
 
-    The tracer must use a :class:`MemorySink` (the no-op sink retains
-    nothing to export)."""
-    sink = tracer.sink
-    if not isinstance(sink, MemorySink):
-        raise TypeError(
-            f"export needs a MemorySink-backed tracer, got {type(sink).__name__}"
-        )
+    The tracer's sink must retain events (the no-op sink has nothing to
+    export)."""
+    events = _retained_events(tracer)
     with open(path, "w", encoding="utf-8") as fh:
-        return write_trace(fh, sink.events, spans=tracer.spans, meta=tracer.meta)
+        return write_trace(fh, events, spans=tracer.spans, meta=tracer.meta)
 
 
 def dumps_trace(tracer: Tracer) -> str:
     """The JSONL export as a string (determinism tests compare these)."""
-    sink = tracer.sink
-    if not isinstance(sink, MemorySink):
-        raise TypeError(
-            f"export needs a MemorySink-backed tracer, got {type(sink).__name__}"
-        )
+    events = _retained_events(tracer)
     buf = io.StringIO()
-    write_trace(buf, sink.events, spans=tracer.spans, meta=tracer.meta)
+    write_trace(buf, events, spans=tracer.spans, meta=tracer.meta)
     return buf.getvalue()
 
 

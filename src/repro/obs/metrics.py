@@ -1,10 +1,16 @@
-"""Metrics registry: counters and percentile histograms.
+"""Paper-facing metrics: exact histograms over the v2 registry core.
 
 The harnesses used to pass raw latency lists around; this module gives
-them one vocabulary.  Everything is exact and deterministic — the
-histogram keeps its observations and computes nearest-rank percentiles,
-which is both reproducible across platforms and cheap at the scales the
-simulator produces (thousands of operations, not millions of requests).
+them one vocabulary.  Since the registry-v2 refactor the namespace
+machinery (counters, gauges, windowed snapshots, no-op mode) lives in
+:mod:`repro.obs.registry`; what stays here is the *exact* end of the
+telemetry plane: the list-backed :class:`Histogram` with nearest-rank
+percentiles, and :class:`MetricsRegistry`, which is the v2
+:class:`~repro.obs.registry.Registry` specialized to that histogram.
+Experiment tables and ``BENCH_macro.json`` fingerprints depend on these
+aggregates being byte-reproducible across platforms, so paper-facing
+code keeps the exact backend; live telemetry uses the bounded
+:class:`~repro.obs.registry.HdrHistogram` instead.
 
 Naming convention used by :meth:`MetricsRegistry.observe_op`:
 
@@ -20,27 +26,13 @@ Naming convention used by :meth:`MetricsRegistry.observe_op`:
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.obs.registry import Counter, Registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.spans import OpSpan
     from repro.runtime.cluster import OpHandle
-
-
-class Counter:
-    """A monotonically increasing integer metric."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        self.value += amount
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.value})"
 
 
 class Histogram:
@@ -131,24 +123,14 @@ class Histogram:
         )
 
 
-class MetricsRegistry:
-    """A namespace of counters and histograms for one experiment run."""
+class MetricsRegistry(Registry):
+    """A namespace of counters and *exact* histograms for one run."""
 
     def __init__(self) -> None:
-        self.counters: dict[str, Counter] = {}
-        self.histograms: dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        ctr = self.counters.get(name)
-        if ctr is None:
-            ctr = self.counters[name] = Counter(name)
-        return ctr
+        super().__init__(histogram_factory=Histogram)
 
     def histogram(self, name: str) -> Histogram:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram(name)
-        return hist
+        return super().histogram(name)
 
     # ------------------------------------------------------------------
     def observe_op(self, handle: "OpHandle", D: float) -> None:
@@ -186,30 +168,6 @@ class MetricsRegistry:
         for span in spans:
             reg.observe_span(span, D)
         return reg
-
-    # ------------------------------------------------------------------
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "counters": {k: c.value for k, c in sorted(self.counters.items())},
-            "histograms": {
-                k: h.summary() for k, h in sorted(self.histograms.items())
-            },
-        }
-
-    def format_lines(self) -> list[str]:
-        lines = []
-        for name, ctr in sorted(self.counters.items()):
-            lines.append(f"{name:36s} {ctr.value}")
-        for name, hist in sorted(self.histograms.items()):
-            if hist.empty:
-                lines.append(f"{name:36s} (empty)")
-                continue
-            lines.append(
-                f"{name:36s} n={hist.count:<5d} mean={hist.mean:8.2f} "
-                f"p50={hist.p50:8.2f} p95={hist.p95:8.2f} "
-                f"p99={hist.p99:8.2f} max={hist.maximum:8.2f}"
-            )
-        return lines
 
 
 def percentiles(values: Iterable[float]) -> Mapping[str, float]:

@@ -98,6 +98,29 @@ class Trace:
                 lines.append(f"  node {node:<3d}    {count}")
         return lines
 
+    def summary_dict(self) -> dict[str, Any]:
+        """Machine-readable aggregate counts (``summary --format json``):
+        same numbers as :meth:`summary_lines`, JSON-safe."""
+        by_kind: dict[str, int] = {}
+        by_msg: dict[str, int] = {}
+        sent_by_node: dict[str, int] = {}
+        for ev in self.events:
+            by_kind[ev["kind"]] = by_kind.get(ev["kind"], 0) + 1
+            if ev["kind"] == "send":
+                label = (ev.get("msg") or "?").split(":", 1)[0]
+                by_msg[label] = by_msg.get(label, 0) + 1
+                node = str(ev["node"])
+                sent_by_node[node] = sent_by_node.get(node, 0) + 1
+        return {
+            "events": len(self.events),
+            "spans": len(self.spans),
+            "D": self.D,
+            "algorithm": self.meta.get("algorithm"),
+            "by_kind": dict(sorted(by_kind.items())),
+            "sends_by_message": dict(sorted(by_msg.items())),
+            "sends_by_node": dict(sorted(sent_by_node.items())),
+        }
+
     # ------------------------------------------------------------------
     def op_lines(self, *, op_id: int | None = None, phases: bool = True) -> list[str]:
         """Per-operation accounting: latency in D, phase breakdown,

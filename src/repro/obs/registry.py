@@ -1,0 +1,465 @@
+"""Metrics registry v2 — the telemetry plane shared by the simulator
+and the real (asyncio) runtime.
+
+PR 1's :class:`~repro.obs.metrics.MetricsRegistry` kept every latency
+observation in a list, which is exactly right for paper-facing tables
+(exact nearest-rank percentiles, byte-reproducible) and exactly wrong
+for long live runs (unbounded memory, O(n log n) percentile queries).
+This module generalizes the registry so both uses share one vocabulary:
+
+- :class:`Registry` is the namespace object — counters, gauges and
+  histograms addressed by dotted name — with a *pluggable histogram
+  backend*.  The v1 ``MetricsRegistry`` is now ``Registry`` with the
+  exact :class:`~repro.obs.metrics.Histogram`; live telemetry uses the
+  bounded :class:`HdrHistogram`.
+- :class:`HdrHistogram` is a log-bucketed (HDR-style) histogram: fixed
+  memory, O(1) observe, percentiles with bounded relative error
+  (≤ ~1.6% with the default 32 sub-buckets per power of two).  Bucket
+  indices come from :func:`math.frexp`, which is exact IEEE-754
+  arithmetic, so bucketing is deterministic across platforms.
+- **time-windowed snapshots**: every metric tracks a current *window*
+  alongside its cumulative totals; :meth:`Registry.window` returns the
+  delta since the previous window and resets it.  This is what the
+  ``repro.obs top`` display and soak-test loops poll.
+- **near-zero-overhead no-op mode**: the :class:`NullRegistry`
+  singleton returns shared do-nothing metric objects, so instrumented
+  code paths (bench runner, chaos campaigns, the runtimes) always call
+  ``TELEMETRY.counter("x").inc()`` unconditionally — with telemetry
+  disabled that is one dict-free method call returning a cached object
+  plus a no-op ``inc``; nothing is allocated and nothing observable
+  changes (asserted by ``tests/obs/test_overhead.py``).
+
+The process-global handle is deliberately *not* the default for
+experiments: paper-facing code keeps building explicit registries.  The
+global exists for cross-cutting telemetry (bench/chaos/runtime counters)
+that must not perturb seeded schedules when nobody is watching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterator
+
+#: sub-buckets per power of two — 32 gives ≤ ~1.6% relative error
+HDR_SUBBUCKETS = 32
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value-wins metric (queue depth, open connections, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class HdrHistogram:
+    """Log-bucketed histogram with bounded memory and bounded error.
+
+    Values are assigned to buckets ``(exponent, sub-bucket)`` via
+    :func:`math.frexp`; each power of two is split into
+    :data:`HDR_SUBBUCKETS` linear sub-buckets.  ``count``/``total``/
+    ``minimum``/``maximum`` are tracked exactly; percentiles are
+    nearest-rank over the buckets and return the bucket's upper bound
+    clamped to the exact observed range, so ``p100 == maximum`` and the
+    relative error of any percentile is at most one sub-bucket width.
+
+    Non-positive observations land in a dedicated zero bucket (the
+    telemetry plane records durations and depths, where 0 is common and
+    negatives are a caller bug worth keeping visible in ``minimum``).
+    """
+
+    __slots__ = (
+        "name",
+        "_buckets",
+        "count",
+        "total",
+        "_min",
+        "_max",
+        "_win_buckets",
+        "_win_count",
+        "_win_total",
+        "_win_min",
+        "_win_max",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._win_buckets: dict[int, int] = {}
+        self._win_count = 0
+        self._win_total = 0.0
+        self._win_min = math.inf
+        self._win_max = -math.inf
+
+    # -- bucketing ------------------------------------------------------
+    @staticmethod
+    def _index(value: float) -> int:
+        if value <= 0.0:
+            return -(10**9)  # the zero bucket, below every real index
+        mantissa, exponent = math.frexp(value)  # mantissa in [0.5, 1)
+        sub = int((mantissa - 0.5) * 2 * HDR_SUBBUCKETS)
+        if sub >= HDR_SUBBUCKETS:  # mantissa rounding at the top edge
+            sub = HDR_SUBBUCKETS - 1
+        return exponent * HDR_SUBBUCKETS + sub
+
+    @staticmethod
+    def _upper_bound(index: int) -> float:
+        if index == -(10**9):
+            return 0.0
+        exponent, sub = divmod(index, HDR_SUBBUCKETS)
+        mantissa = 0.5 + (sub + 1) / (2 * HDR_SUBBUCKETS)
+        return math.ldexp(mantissa, exponent)
+
+    # -- recording ------------------------------------------------------
+    def observe(self, value: float) -> None:
+        idx = self._index(value)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._win_buckets[idx] = self._win_buckets.get(idx, 0) + 1
+        self._win_count += 1
+        self._win_total += value
+        if value < self._win_min:
+            self._win_min = value
+        if value > self._win_max:
+            self._win_max = value
+
+    def observe_many(self, values: Any) -> None:
+        for v in values:
+            self.observe(v)
+
+    # -- aggregates (the exact-histogram property surface) --------------
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else math.nan
+
+    def percentile(self, p: float) -> float:
+        if not self.count:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range [0, 100]")
+        return self._bucket_percentile(self._buckets, self.count, p, self._min, self._max)
+
+    @staticmethod
+    def _bucket_percentile(
+        buckets: dict[int, int], count: int, p: float, lo: float, hi: float
+    ) -> float:
+        rank = max(1, math.ceil(p / 100 * count))
+        seen = 0
+        for idx in sorted(buckets):
+            seen += buckets[idx]
+            if seen >= rank:
+                return min(max(HdrHistogram._upper_bound(idx), lo), hi)
+        return hi  # pragma: no cover - rank <= count by construction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+    # -- windows --------------------------------------------------------
+    def window_summary(self, *, reset: bool = True) -> dict[str, float]:
+        """Aggregates of the observations since the last window reset."""
+        count = self._win_count
+        if count == 0:
+            out = {
+                "count": 0,
+                "mean": math.nan,
+                "min": math.nan,
+                "p50": math.nan,
+                "p95": math.nan,
+                "p99": math.nan,
+                "max": math.nan,
+            }
+        else:
+            out = {
+                "count": count,
+                "mean": self._win_total / count,
+                "min": self._win_min,
+                "p50": self._bucket_percentile(
+                    self._win_buckets, count, 50, self._win_min, self._win_max
+                ),
+                "p95": self._bucket_percentile(
+                    self._win_buckets, count, 95, self._win_min, self._win_max
+                ),
+                "p99": self._bucket_percentile(
+                    self._win_buckets, count, 99, self._win_min, self._win_max
+                ),
+                "max": self._win_max,
+            }
+        if reset:
+            self._win_buckets = {}
+            self._win_count = 0
+            self._win_total = 0.0
+            self._win_min = math.inf
+            self._win_max = -math.inf
+        return out
+
+    def merge(self, other: "HdrHistogram") -> None:
+        """Fold another histogram's cumulative state into this one."""
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+            self._win_buckets[idx] = self._win_buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self._win_count += other.count
+        self._win_total += other.total
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+            self._win_min = min(self._win_min, other._min)
+            self._win_max = max(self._win_max, other._max)
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return f"HdrHistogram({self.name}: empty)"
+        return (
+            f"HdrHistogram({self.name}: n={self.count} mean={self.mean:.2f} "
+            f"p50={self.p50:.2f} p99={self.p99:.2f})"
+        )
+
+
+class Registry:
+    """A namespace of counters, gauges and histograms.
+
+    Args:
+        histogram_factory: histogram constructor — :class:`HdrHistogram`
+            (default, bounded; live telemetry) or the exact
+            :class:`~repro.obs.metrics.Histogram` (paper-facing tables,
+            via :class:`~repro.obs.metrics.MetricsRegistry`).
+    """
+
+    #: no-op registries report False so hot loops can skip batches
+    enabled = True
+
+    def __init__(
+        self, *, histogram_factory: Callable[[str], Any] = HdrHistogram
+    ) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Any] = {}
+        self._histogram_factory = histogram_factory
+        self._counter_marks: dict[str, int] = {}
+
+    # -- metric accessors (create on first use) -------------------------
+    def counter(self, name: str) -> Counter:
+        ctr = self.counters.get(name)
+        if ctr is None:
+            ctr = self.counters[name] = Counter(name)
+        return ctr
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Any:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = self._histogram_factory(name)
+        return hist
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items())
+            },
+        }
+        if self.gauges:
+            out["gauges"] = {k: g.value for k, g in sorted(self.gauges.items())}
+        return out
+
+    def format_lines(self) -> list[str]:
+        lines = []
+        for name, ctr in sorted(self.counters.items()):
+            lines.append(f"{name:36s} {ctr.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"{name:36s} {gauge.value:g}")
+        for name, hist in sorted(self.histograms.items()):
+            if hist.empty:
+                lines.append(f"{name:36s} (empty)")
+                continue
+            lines.append(
+                f"{name:36s} n={hist.count:<5d} mean={hist.mean:8.2f} "
+                f"p50={hist.p50:8.2f} p95={hist.p95:8.2f} "
+                f"p99={hist.p99:8.2f} max={hist.maximum:8.2f}"
+            )
+        return lines
+
+    # -- windows --------------------------------------------------------
+    def window(self, *, reset: bool = True) -> dict[str, Any]:
+        """The delta since the previous window: counter increments,
+        current gauge values, and per-histogram window aggregates.
+        ``reset=False`` peeks without starting a new window."""
+        counters: dict[str, int] = {}
+        for name, ctr in sorted(self.counters.items()):
+            delta = ctr.value - self._counter_marks.get(name, 0)
+            if reset:
+                self._counter_marks[name] = ctr.value
+            counters[name] = delta
+        histograms: dict[str, dict[str, float]] = {}
+        for name, hist in sorted(self.histograms.items()):
+            if isinstance(hist, HdrHistogram):
+                histograms[name] = hist.window_summary(reset=reset)
+            else:  # exact histograms carry no window state; report totals
+                histograms[name] = hist.summary()
+        return {
+            "counters": counters,
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": histograms,
+        }
+
+    def metric_names(self) -> Iterator[str]:
+        yield from sorted(self.counters)
+        yield from sorted(self.gauges)
+        yield from sorted(self.histograms)
+
+
+# ----------------------------------------------------------------------
+# no-op mode
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(HdrHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(Registry):
+    """The disabled telemetry plane: every accessor returns a shared
+    do-nothing metric, so instrumentation sites cost one call and zero
+    allocations.  State never accumulates (``to_dict`` stays empty)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> Any:
+        return self._histogram
+
+
+# ----------------------------------------------------------------------
+# the process-global telemetry handle (no-op unless explicitly enabled)
+# ----------------------------------------------------------------------
+_telemetry: Registry = NullRegistry()
+
+
+def telemetry() -> Registry:
+    """The process-wide telemetry registry (a no-op unless enabled)."""
+    return _telemetry
+
+
+def set_telemetry(registry: Registry | None) -> Registry:
+    """Install a telemetry registry (``None`` restores no-op mode);
+    returns the previous one so callers can scope their installation."""
+    global _telemetry
+    previous = _telemetry
+    _telemetry = registry if registry is not None else NullRegistry()
+    return previous
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HDR_SUBBUCKETS",
+    "HdrHistogram",
+    "NullRegistry",
+    "Registry",
+    "set_telemetry",
+    "telemetry",
+]

@@ -12,8 +12,52 @@ EQ-ASO scan decompose its latency exactly: ``readTag ≈ 2D`` plus
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
+
+
+def _jsonable(value: Any) -> tuple[Any, bool]:
+    try:
+        json.dumps(value)
+        return value, True
+    except (TypeError, ValueError):
+        return repr(value), False
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe encoding of an operation argument or result.
+
+    Snapshot objects (anything exposing ``values`` + ``meta`` in the
+    :class:`repro.core.tags.Snapshot` shape) are encoded as per-segment
+    ``{value, value_exact, tag, writer, useq}`` dicts — the same segment
+    layout as :func:`repro.spec.serialize.history_to_dict`, so a trace's
+    spans can be replayed into a :class:`~repro.spec.history.History`
+    without the original process.  Everything else is kept verbatim when
+    JSON-representable, else stringified and flagged inexact.
+    """
+    if value is None:
+        return None
+    meta = getattr(value, "meta", None)
+    if meta is not None and hasattr(value, "values"):
+        segments: list[Any] = []
+        for vt in meta:
+            if vt is None:
+                segments.append(None)
+            else:
+                raw, exact = _jsonable(vt.value)
+                segments.append(
+                    {
+                        "value": raw,
+                        "value_exact": exact,
+                        "tag": vt.ts.tag,
+                        "writer": vt.ts.writer,
+                        "useq": vt.useq,
+                    }
+                )
+        return {"snapshot": segments}
+    raw, exact = _jsonable(value)
+    return {"value": raw, "value_exact": exact}
 
 
 @dataclass(slots=True)
@@ -50,6 +94,11 @@ class OpSpan:
     t_resp: float | None = None
     aborted: bool = False
     messages: int = 0  # messages this node sent during the operation
+    #: invocation args / response value, pre-encoded via
+    #: :func:`encode_value` (JSON-safe; snapshots keep their segments so
+    #: replay-checking can rebuild the history from the trace alone)
+    args: Any = None
+    result: Any = None
     phases: list[PhaseRecord] = field(default_factory=list)
     _open: list[PhaseRecord] = field(default_factory=list)
 
@@ -111,8 +160,10 @@ class OpSpan:
             "t_resp": self.t_resp,
             "aborted": self.aborted,
             "messages": self.messages,
+            "args": self.args,
+            "result": self.result,
             "phases": [p.to_dict() for p in self.phases],
         }
 
 
-__all__ = ["OpSpan", "PhaseRecord"]
+__all__ = ["OpSpan", "PhaseRecord", "encode_value"]

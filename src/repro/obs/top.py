@@ -1,0 +1,159 @@
+"""``repro.obs top`` — a one-screen terminal summary for long runs.
+
+Renders a compact dashboard from an exported (or still-growing) JSONL
+trace: run header, operation throughput and latency percentiles per
+kind, event-rate table, the coverage tally from
+:mod:`repro.obs.coverage`, and the tail of the event log.  One shot by
+default; ``--watch SECS`` re-reads the file and repaints, which is the
+intended way to keep an eye on a live asyncio run exporting
+incrementally (the reader tolerates a torn final line).
+
+Everything here is presentation: the numbers come from
+:class:`repro.obs.query.Trace` and :class:`repro.obs.coverage.Coverage`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.coverage import SPACES, Coverage
+from repro.obs.metrics import percentiles
+from repro.obs.query import Trace
+
+Record = dict[str, Any]
+
+#: ANSI clear-screen + home (``--watch`` repaint)
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _header(trace: Trace) -> list[str]:
+    meta = trace.meta
+    parts = []
+    for key in ("algorithm", "runtime", "n", "f", "seed"):
+        if key in meta:
+            parts.append(f"{key}={meta[key]}")
+    parts.append(f"D={trace.D:g}")
+    last_t = max((ev["t"] for ev in trace.events), default=0.0)
+    lines = [
+        "repro.obs top — " + " ".join(parts),
+        f"events {len(trace.events)}  spans {len(trace.spans)}  "
+        f"t_last {last_t:.3f}"
+        + (
+            f"  dropped {meta['events_dropped']}"
+            if "events_dropped" in meta
+            else ""
+        ),
+    ]
+    return lines
+
+
+def _op_table(trace: Trace) -> list[str]:
+    """Per-kind op counts and latency percentiles (in units of D)."""
+    D = trace.D
+    by_kind: dict[str, list[float]] = {}
+    pending: dict[str, int] = {}
+    aborted: dict[str, int] = {}
+    for span in trace.spans:
+        kind = span["kind"]
+        if span.get("t_resp") is None:
+            pending[kind] = pending.get(kind, 0) + 1
+        elif span.get("aborted"):
+            aborted[kind] = aborted.get(kind, 0) + 1
+        else:
+            by_kind.setdefault(kind, []).append(
+                (span["t_resp"] - span["t_inv"]) / D
+            )
+    if not (by_kind or pending or aborted):
+        return ["ops: (none)"]
+    lines = ["ops:        done   pend  abort     p50     p95     p99  (D)"]
+    for kind in sorted(set(by_kind) | set(pending) | set(aborted)):
+        lat = by_kind.get(kind, [])
+        if lat:
+            pct = percentiles(lat)
+            tail = (
+                f"{pct['p50']:7.2f} {pct['p95']:7.2f} {pct['p99']:7.2f}"
+            )
+        else:
+            tail = f"{'-':>7s} {'-':>7s} {'-':>7s}"
+        lines.append(
+            f"  {kind:9s} {len(lat):5d}  {pending.get(kind, 0):5d} "
+            f"{aborted.get(kind, 0):6d} {tail}"
+        )
+    return lines
+
+
+def _event_table(trace: Trace) -> list[str]:
+    by_kind: dict[str, int] = {}
+    for ev in trace.events:
+        by_kind[ev["kind"]] = by_kind.get(ev["kind"], 0) + 1
+    if not by_kind:
+        return ["events: (none)"]
+    lines = ["events:"]
+    row: list[str] = []
+    for kind, count in sorted(by_kind.items()):
+        row.append(f"{kind}={count}")
+        if len(row) == 4:
+            lines.append("  " + "  ".join(f"{cell:18s}" for cell in row))
+            row = []
+    if row:
+        lines.append("  " + "  ".join(f"{cell:18s}" for cell in row))
+    return lines
+
+
+def _coverage_line(trace: Trace) -> str:
+    cov = Coverage.from_trace(trace.meta, trace.events, trace.spans)
+    tally = cov.distinct()
+    return "coverage: " + "  ".join(
+        f"{space}={tally[space]}" for space in SPACES
+    )
+
+
+def _tail(trace: Trace, count: int) -> list[str]:
+    lines = [f"last {count} events:"]
+    for ev in trace.events[-count:]:
+        extra = ev.get("msg") or ev.get("op") or ev.get("detail") or ""
+        where = (
+            f"[{ev['src']}]->[{ev['dst']}]"
+            if ev.get("src") is not None
+            else f"n{ev['node']}"
+        )
+        lines.append(
+            f"  t={ev['t']:9.3f} {ev['kind']:12s} {where:10s} {extra}"
+        )
+    return lines
+
+
+def render_top(trace: Trace, *, tail: int = 8) -> str:
+    """The full dashboard as one string (no trailing newline)."""
+    sections = [
+        _header(trace),
+        _op_table(trace),
+        _event_table(trace),
+        [_coverage_line(trace)],
+    ]
+    if tail > 0 and trace.events:
+        sections.append(_tail(trace, tail))
+    return "\n".join("\n".join(block) for block in sections)
+
+
+def run_top(path: str, *, watch: float | None = None, tail: int = 8) -> int:
+    """Render once, or repaint every ``watch`` seconds until ^C."""
+    if watch is None:
+        print(render_top(Trace.load(path), tail=tail))
+        return 0
+    import json
+    import time  # lint: ignore[RL001] — presentation-only watch loop
+
+    try:
+        while True:
+            try:
+                screen = render_top(Trace.load(path), tail=tail)
+            except (json.JSONDecodeError, ValueError):
+                screen = f"(torn write in {path}; waiting for next frame)"
+            print(CLEAR + screen, flush=True)
+            time.sleep(watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+__all__ = ["CLEAR", "render_top", "run_top"]

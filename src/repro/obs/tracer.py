@@ -23,7 +23,7 @@ from typing import Any, Protocol
 
 from repro.obs.describe import describe_payload
 from repro.obs.events import TraceEvent
-from repro.obs.spans import OpSpan
+from repro.obs.spans import OpSpan, encode_value
 
 
 class EventSink(Protocol):
@@ -171,6 +171,35 @@ class Tracer:
             )
         )
 
+    def on_link(self, src: int, dst: int, *, up: bool) -> None:
+        """An ordered channel was gated (``up=False``) or released.
+        Attributed to the destination — it is the side that stops (or
+        resumes) observing deliveries."""
+        self._emit(
+            TraceEvent(
+                kind="reconnect" if up else "disconnect",
+                t=self.now,
+                lamport=self._tick(dst),
+                node=dst,
+                src=src,
+                dst=dst,
+            )
+        )
+
+    def on_backpressure(self, src: int, dst: int, depth: int) -> None:
+        """A channel's send queue crossed its high-water mark."""
+        self._emit(
+            TraceEvent(
+                kind="backpressure",
+                t=self.now,
+                lamport=self._tick(src),
+                node=src,
+                src=src,
+                dst=dst,
+                detail=f"depth={depth}",
+            )
+        )
+
     # ------------------------------------------------------------------
     # operation spans (called by the cluster)
     # ------------------------------------------------------------------
@@ -178,6 +207,8 @@ class Tracer:
         span = OpSpan(
             op_id=self._next_op_id, node=node, kind=kind, t_inv=self.now
         )
+        if args:
+            span.args = [encode_value(a) for a in args]
         self._next_op_id += 1
         self.spans.append(span)
         self._current_span[node] = span
@@ -197,6 +228,7 @@ class Tracer:
     def op_end(self, span: OpSpan, *, messages: int = 0, result: Any = None) -> None:
         span.close(self.now)
         span.messages = messages
+        span.result = encode_value(result)
         self._current_span.pop(span.node, None)
         self._emit(
             TraceEvent(

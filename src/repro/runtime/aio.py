@@ -21,6 +21,17 @@ Semantics preserved from the paper / the DES driver:
 - **crash**: a crashed node stops sending and receiving; a crash can
   truncate an in-flight broadcast (Definition 11) via
   :class:`~repro.net.faults.BroadcastCrash` specs.
+
+Observability: pass a :class:`repro.obs.Tracer` and the cluster emits
+the same event vocabulary as the DES driver — send/deliver/drop/crash,
+op spans with phases, plus the live-runtime extras (``disconnect`` /
+``reconnect`` when a channel is gated, ``backpressure`` when a channel
+queue crosses its high-water mark).  ``t`` is the wall clock relative
+to :meth:`AioCluster.start` (the event loop's monotonic clock), Lamport
+clocks come from the tracer's per-channel FIFO discipline, and the
+JSONL export feeds ``python -m repro.obs check``, which replays the
+trace through the :mod:`repro.spec` polynomial checkers.  A disabled
+tracer is normalized to ``None`` — no instrumentation site runs.
 """
 
 from __future__ import annotations
@@ -45,7 +56,20 @@ class AioCluster:
         seed: delay-randomness seed.
         crash_plan: optional crash adversary (timed crashes are scheduled
             on the loop; broadcast crashes fire on matching sends).
+        tracer: optional :class:`repro.obs.Tracer` (see module docstring);
+            a disabled tracer is normalized to ``None``.
+        backpressure_hwm: channel queue depth at which a ``backpressure``
+            trace event fires (each time the queue grows to exactly this
+            depth, so sustained congestion re-reports as it re-crosses).
+        postmortem: directory for automatic crash bundles.  When set (and
+            the tracer retains events — a ``MemorySink`` or the bounded
+            :class:`~repro.obs.flight.FlightRecorder`), every node crash
+            dumps ``<postmortem>/crash-node<k>/`` with the last events,
+            in the chaos counterexample bundle layout.
     """
+
+    #: default per-channel queue depth that counts as congestion
+    BACKPRESSURE_HWM = 64
 
     def __init__(
         self,
@@ -56,6 +80,9 @@ class AioCluster:
         mean_delay: float = 0.002,
         seed: int = 0,
         crash_plan: CrashPlan | None = None,
+        tracer: Any = None,
+        backpressure_hwm: int | None = None,
+        postmortem: Any = None,
     ) -> None:
         self.n = n
         self.f = f
@@ -67,9 +94,36 @@ class AioCluster:
         self._locks = [asyncio.Lock() for _ in range(n)]
         self._wakeups = [asyncio.Event() for _ in range(n)]
         self._channels: dict[tuple[int, int], asyncio.Queue] = {}
+        self._gates: dict[tuple[int, int], asyncio.Event] = {}
         self._forwarders: list[asyncio.Task] = []
         self._started = False
+        self._loop: Any = None
         self._loop_time0 = 0.0
+        self._sent = [0] * n
+        self._hwm = (
+            backpressure_hwm if backpressure_hwm is not None else self.BACKPRESSURE_HWM
+        )
+        self.tracer = tracer
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._postmortem = postmortem
+        if self._tracer is not None:
+            self._tracer.bind(self)  # the tracer reads ``now`` from us
+            for node in self.nodes:
+                node._phase_hook = self._tracer.phase
+            self._tracer.meta.setdefault("algorithm", type(self.nodes[0]).__name__)
+            self._tracer.meta.setdefault("n", n)
+            self._tracer.meta.setdefault("f", f)
+            # the synchrony bound of the sampled delay distribution
+            self._tracer.meta.setdefault("D", 1.8 * mean_delay)
+            self._tracer.meta.setdefault("runtime", "aio")
+            self._tracer.meta.setdefault("seed", seed)
+
+    @property
+    def now(self) -> float:
+        """Wall-clock seconds since :meth:`start` (0.0 before it)."""
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._loop_time0
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -77,7 +131,8 @@ class AioCluster:
         if self._started:
             return
         self._started = True
-        self._loop_time0 = asyncio.get_running_loop().time()
+        self._loop = asyncio.get_running_loop()
+        self._loop_time0 = self._loop.time()
         for src in range(self.n):
             for dst in range(self.n):
                 queue: asyncio.Queue = asyncio.Queue()
@@ -103,11 +158,21 @@ class AioCluster:
         self._forwarders.clear()
 
     def _now(self) -> float:
-        return asyncio.get_running_loop().time() - self._loop_time0
+        return self.now
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _enqueue(self, src: int, dst: int, payload: Any) -> None:
+        """Put one message on its channel (reliable from this point on)."""
+        self._sent[src] += 1
+        queue = self._channels[(src, dst)]
+        queue.put_nowait(payload)
+        if self._tracer is not None:
+            self._tracer.on_send(src, dst, payload)
+            if queue.qsize() == self._hwm:
+                self._tracer.on_backpressure(src, dst, queue.qsize())
+
     def _flush(self, node_id: int) -> None:
         """Drain a node's outbox into the channels (caller holds its lock)."""
         node = self.nodes[node_id]
@@ -117,16 +182,19 @@ class AioCluster:
                 return
             item = node.outbox.popleft()
             if isinstance(item, _Send):
-                self._channels[(node_id, item.dst)].put_nowait(item.payload)
+                self._enqueue(node_id, item.dst, item.payload)
             elif isinstance(item, _Broadcast):
                 allowed, crash_now = self.crash_plan.filter_broadcast(
                     node_id, item.payload, item.dests
                 )
                 for dst in allowed:
-                    self._channels[(node_id, dst)].put_nowait(item.payload)
+                    self._enqueue(node_id, dst, item.payload)
                 if crash_now:
                     self.crash_plan.mark_crashed(node_id)
+                    if self._tracer is not None:
+                        self._tracer.on_crash(node_id, detail="mid-broadcast crash")
                     self._wakeups[node_id].set()  # release a parked op
+                    self._dump_postmortem(node_id, "mid-broadcast crash")
 
     async def _forward(self, src: int, dst: int, queue: asyncio.Queue) -> None:
         """One FIFO channel: sequential delay-then-deliver."""
@@ -135,11 +203,20 @@ class AioCluster:
             if src != dst:
                 delay = self._rng.uniform(0.2 * self._mean, 1.8 * self._mean)
                 await asyncio.sleep(delay)
+            gate = self._gates.get((src, dst))
+            if gate is not None and not gate.is_set():
+                await gate.wait()  # link gated: hold delivery, keep FIFO
             if self.crash_plan.is_crashed(dst):
+                if self._tracer is not None:
+                    self._tracer.on_drop(src, dst, payload)
                 continue
             async with self._locks[dst]:
                 if self.crash_plan.is_crashed(dst):
+                    if self._tracer is not None:
+                        self._tracer.on_drop(src, dst, payload)
                     continue
+                if self._tracer is not None:
+                    self._tracer.on_deliver(src, dst, payload)
                 self.nodes[dst].on_message(src, payload)
                 self._flush(dst)
             self._wakeups[dst].set()
@@ -147,7 +224,54 @@ class AioCluster:
     def crash(self, node_id: int) -> None:
         """Crash a node immediately."""
         self.crash_plan.mark_crashed(node_id)
+        if self._tracer is not None:
+            self._tracer.on_crash(node_id)
         self._wakeups[node_id].set()  # unblock any waiting operation
+        self._dump_postmortem(node_id, "crash")
+
+    def _dump_postmortem(self, node_id: int, what: str) -> None:
+        """Write an automatic crash bundle if configured (and possible)."""
+        if self._postmortem is None or self._tracer is None:
+            return
+        if getattr(self._tracer.sink, "events", None) is None:
+            return  # non-retaining sink: nothing to dump
+        from pathlib import Path
+
+        from repro.obs.flight import dump_postmortem
+
+        dump_postmortem(
+            self._tracer,
+            Path(self._postmortem) / f"crash-node{node_id}",
+            reason=f"node {node_id}: {what}",
+        )
+
+    # ------------------------------------------------------------------
+    # link gating (temporary partitions)
+    # ------------------------------------------------------------------
+    def _gate(self, src: int, dst: int) -> asyncio.Event:
+        gate = self._gates.get((src, dst))
+        if gate is None:
+            gate = self._gates[(src, dst)] = asyncio.Event()
+            gate.set()
+        return gate
+
+    def disconnect(self, src: int, dst: int, *, symmetric: bool = False) -> None:
+        """Gate the ordered channel ``src -> dst``: queued and future
+        messages wait (in FIFO order) until :meth:`reconnect`.  In-flight
+        deliveries that already passed the gate still land."""
+        self._gate(src, dst).clear()
+        if self._tracer is not None:
+            self._tracer.on_link(src, dst, up=False)
+        if symmetric:
+            self.disconnect(dst, src)
+
+    def reconnect(self, src: int, dst: int, *, symmetric: bool = False) -> None:
+        """Release a gated channel; its forwarder resumes deliveries."""
+        self._gate(src, dst).set()
+        if self._tracer is not None:
+            self._tracer.on_link(src, dst, up=True)
+        if symmetric:
+            self.reconnect(dst, src)
 
     # ------------------------------------------------------------------
     # client operations
@@ -162,16 +286,30 @@ class AioCluster:
         node = self.nodes[node_id]
         if self.crash_plan.is_crashed(node_id):
             raise RuntimeError(f"node {node_id} is crashed")
+        tracer = self._tracer
+        span = None
+        sent_at_inv = 0
         async with self._locks[node_id]:
             record = self.history.invoke(node_id, opname, args, self._now())
+            if tracer is not None:
+                sent_at_inv = self._sent[node_id]
+                span = tracer.op_begin(node_id, opname, args)
             gen = getattr(node, opname)(*args)
         try:
             result = await self._drive(node_id, gen)
         except _Crashed:
             self.history.abort(record)
+            if span is not None:
+                tracer.op_abort(span, messages=self._sent[node_id] - sent_at_inv)
             raise RuntimeError(f"node {node_id} crashed during {opname}") from None
         async with self._locks[node_id]:
             self.history.respond(record, self._now(), result)
+            if span is not None:
+                tracer.op_end(
+                    span,
+                    messages=self._sent[node_id] - sent_at_inv,
+                    result=result,
+                )
         return result
 
     async def _drive(self, node_id: int, gen) -> Any:

@@ -226,6 +226,21 @@ class Cluster:
         if runner is not None:
             self._abort_runner(runner)
 
+    def disconnect(self, src: int, dst: int, *, symmetric: bool = False) -> None:
+        """Gate the ordered channel ``src -> dst`` (both directions with
+        ``symmetric=True``); sends park until :meth:`reconnect`.  The
+        tracer records a ``disconnect`` event per gated direction."""
+        self.network.disconnect(src, dst)
+        if symmetric:
+            self.network.disconnect(dst, src)
+
+    def reconnect(self, src: int, dst: int, *, symmetric: bool = False) -> None:
+        """Release a gated channel; parked messages are delivered with
+        fresh delays (FIFO preserved)."""
+        self.network.reconnect(src, dst)
+        if symmetric:
+            self.network.reconnect(dst, src)
+
     # ------------------------------------------------------------------
     # client operations
     # ------------------------------------------------------------------

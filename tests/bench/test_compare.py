@@ -1,0 +1,161 @@
+"""Perf-regression gate: same-mode strictness, cross-mode floor, CLI."""
+
+import copy
+import json
+
+from repro.bench.compare import compare_reports, format_comparison
+
+
+def report(mode="smoke", **case_overrides):
+    case = {
+        "name": "table1",
+        "description": "d",
+        "lockstep": True,
+        "fast": {
+            "wall_s_min": 0.1,
+            "wall_s_all": [0.1],
+            "events": 100,
+            "messages": 400,
+            "events_per_s": 1000,
+            "messages_per_s": 4000,
+            "peak_rss_kb": 1,
+        },
+        "slow": {
+            "wall_s_min": 0.2,
+            "wall_s_all": [0.2],
+            "events": 500,
+            "messages": 400,
+            "events_per_s": 2500,
+            "messages_per_s": 2000,
+            "peak_rss_kb": 1,
+        },
+        "speedup": 2.0,
+        "metrics_identical": True,
+        "fingerprint_sha256": "ab" * 32,
+    }
+    case.update(case_overrides)
+    return {
+        "schema_version": 1,
+        "generated_by": "repro.bench",
+        "mode": mode,
+        "repeats": 1,
+        "warmup": 0,
+        "cases": [case],
+    }
+
+
+def test_identical_reports_pass():
+    fresh = report()
+    assert compare_reports(fresh, copy.deepcopy(fresh)) == []
+
+
+def test_same_mode_speedup_regression_fails():
+    base = report()
+    fresh = report(speedup=2.0 * 0.84)  # > 15% below baseline
+    problems = compare_reports(fresh, base)
+    assert any("speedup regressed" in p for p in problems)
+    # within tolerance passes
+    assert compare_reports(report(speedup=2.0 * 0.86), base) == []
+    # a looser tolerance lets the same regression through
+    assert compare_reports(fresh, base, tolerance=0.30) == []
+
+
+def test_same_mode_counter_drift_fails():
+    base = report()
+    fresh = report()
+    fresh["cases"][0]["fast"]["events"] += 1
+    problems = compare_reports(fresh, base)
+    assert any("seeded schedule was perturbed" in p for p in problems)
+
+
+def test_same_mode_fingerprint_drift_fails():
+    base = report()
+    fresh = report(fingerprint_sha256="cd" * 32)
+    problems = compare_reports(fresh, base)
+    assert any("fingerprint changed" in p for p in problems)
+
+
+def test_metrics_identical_break_always_fatal():
+    base = report(mode="full")
+    fresh = report(mode="smoke", metrics_identical=False)
+    problems = compare_reports(fresh, base)
+    assert any("metrics_identical is false" in p for p in problems)
+
+
+def test_cross_mode_only_bounds_absolute_floor():
+    base = report(mode="full", speedup=2.83)
+    # smoke speedups are legitimately far below full ones
+    fresh = report(mode="smoke", speedup=1.1)
+    assert compare_reports(fresh, base) == []
+    # ... but a fast path slower than the reference still fails
+    slow = report(mode="smoke", speedup=0.7)
+    problems = compare_reports(slow, base)
+    assert any("slower than the reference substrate" in p for p in problems)
+
+
+def test_sub_threshold_runs_skip_timing_but_not_counters():
+    """A 10ms reference run is warmup noise: no speedup verdicts, but
+    deterministic counters are still compared exactly."""
+    base = report()
+    fresh = report(speedup=0.1)  # looks catastrophically slow...
+    for side in ("fast", "slow"):
+        fresh["cases"][0][side]["wall_s_min"] = 0.01  # ...but unmeasurable
+    assert compare_reports(fresh, base) == []
+    fresh["cases"][0]["fast"]["events"] += 1
+    problems = compare_reports(fresh, base)
+    assert any("seeded schedule was perturbed" in p for p in problems)
+
+
+def test_new_case_without_baseline_is_ignored():
+    base = report()
+    fresh = report(name="brand_new_case")
+    assert compare_reports(fresh, base) == []
+
+
+def test_format_comparison_verdicts():
+    fresh, base = report(), report()
+    assert "OK" in format_comparison(fresh, base, [])
+    out = format_comparison(fresh, base, ["table1: boom"])
+    assert "FAIL" in out and "table1: boom" in out
+
+
+def test_cli_baseline_gate(tmp_path, capsys):
+    """End-to-end through the CLI with a real (smoke) bench run."""
+    from repro.bench.__main__ import main as bench_main
+
+    out = tmp_path / "fresh.json"
+    assert (
+        bench_main(["views", "--smoke", "--out", str(out)]) == 0
+    )
+    capsys.readouterr()
+    fresh = json.loads(out.read_text())
+
+    # a same-mode baseline with identical counters passes (speedup is
+    # floored far below any plausible run so timing jitter can't flake)
+    for case in fresh["cases"]:
+        case["speedup"] = 0.01
+    base_ok = tmp_path / "base.json"
+    base_ok.write_text(json.dumps(fresh))
+    assert (
+        bench_main(
+            ["views", "--smoke", "--out", str(out), "--baseline", str(base_ok)]
+        )
+        == 0
+    )
+    assert "perf gate: OK" in capsys.readouterr().out
+
+    # a doctored baseline counter fails the gate (counter equality is
+    # enforced regardless of how short the timed run was)
+    doctored = json.loads(out.read_text())
+    for case in doctored["cases"]:
+        case["speedup"] = 0.01
+        case["fast"]["events"] += 1
+    base_bad = tmp_path / "bad.json"
+    base_bad.write_text(json.dumps(doctored))
+    assert (
+        bench_main(
+            ["views", "--smoke", "--out", str(out), "--baseline", str(base_bad)]
+        )
+        == 1
+    )
+    assert "perf gate: FAIL" in capsys.readouterr().out

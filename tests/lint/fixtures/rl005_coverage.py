@@ -1,0 +1,30 @@
+# lint fixture: RL005 regression pair for the coverage accounting
+# module — an annotated op contributes real phase keys to
+# repro.obs.coverage's phase space, while the unannotated one would
+# surface as the "<kind>/(unphased)" marker.  RL005 is the static
+# side of that runtime marker: it must flag exactly the op whose
+# coverage vector would be blind.
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+class HalfCoveredNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = {}
+
+    def on_message(self, src, payload):
+        self.acks[src] = payload
+
+    def covered(self):
+        # shows up in coverage as "covered/collect"
+        self.phase_enter("collect")
+        self.broadcast("ping")
+        yield WaitUntil(lambda: len(self.acks) >= self.quorum_size, "acks")
+        self.phase_exit("collect")
+
+    def blind(self):
+        # no phase annotations: coverage would only ever record
+        # "blind/(unphased)" — RL005 must flag this one
+        self.broadcast("ping")
+        yield WaitUntil(lambda: len(self.acks) >= self.quorum_size, "acks")
+        return len(self.acks)

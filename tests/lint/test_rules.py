@@ -128,3 +128,40 @@ def test_findings_are_sorted_and_carry_locations():
     assert findings == sorted(findings, key=lambda f: f.sort_key())
     assert all(f.line >= 1 and f.col >= 1 for f in findings)
     assert all(f.path.endswith("rl001_bad.py") for f in findings)
+
+
+def test_rl005_coverage_regression_fixture():
+    """RL005 is the static twin of repro.obs.coverage's '(unphased)'
+    marker: in a node with one annotated and one blind op, exactly the
+    blind op is flagged, and a trace of the blind op would carry the
+    unphased coverage key while the annotated op carries real ones."""
+    findings = lint_fixture("rl005_coverage.py", select=["RL005"])
+    assert len(findings) == 1
+    assert "HalfCoveredNode.blind" in findings[0].message
+
+    # the runtime side: coverage accounting over synthetic spans of the
+    # same two ops yields the unphased marker only for the blind one
+    from repro.obs.coverage import Coverage
+
+    spans = [
+        {
+            "op_id": 0,
+            "node": 0,
+            "kind": "covered",
+            "t_inv": 0.0,
+            "t_resp": 1.0,
+            "phases": [
+                {"name": "collect", "t_start": 0.0, "t_end": 1.0, "depth": 0}
+            ],
+        },
+        {
+            "op_id": 1,
+            "node": 1,
+            "kind": "blind",
+            "t_inv": 2.0,
+            "t_resp": 3.0,
+            "phases": [],
+        },
+    ]
+    cov = Coverage.from_trace({}, [], spans)
+    assert cov.phases == {"covered/collect": 1, "blind/(unphased)": 1}

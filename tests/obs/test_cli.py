@@ -123,3 +123,48 @@ def test_demo_default_stays_lockstep_byte_stable(tmp_path):
     assert (
         open(a, encoding="utf-8").read() == open(b, encoding="utf-8").read()
     )
+
+
+def test_summary_json_matches_contract_and_text(demo_trace, capsys):
+    import json
+
+    from repro.bench.schema import check_fields
+    from repro.obs.__main__ import SUMMARY_FIELDS
+
+    assert main(["summary", demo_trace, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert check_fields(data, SUMMARY_FIELDS, "summary") == []
+    assert data["algorithm"] == "EqAso"
+    assert data["spans"] == 5
+    # same numbers as the text rendering
+    assert main(["summary", demo_trace]) == 0
+    text = capsys.readouterr().out
+    assert f"trace: {data['events']} events, {data['spans']} spans" in text
+    for kind, count in data["by_kind"].items():
+        assert f"{kind:12s} {count}" in text
+
+
+def test_phases_json_matches_contract(demo_trace, capsys):
+    import json
+
+    import pytest as _pytest
+
+    from repro.bench.schema import check_fields
+    from repro.obs.__main__ import PHASES_FIELDS
+
+    assert main(["phases", demo_trace, "--kind", "scan", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert check_fields(data, PHASES_FIELDS, "phases") == []
+    assert data["ops"] == 2
+    assert data["end_to_end_D"] == _pytest.approx(4.0)
+    assert sum(data["phases_D"].values()) == _pytest.approx(data["end_to_end_D"])
+
+
+def test_check_passes_on_demo_trace(demo_trace, capsys):
+    import json
+
+    assert main(["check", demo_trace]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert main(["check", demo_trace, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True and data["algorithm"] == "EqAso"

@@ -1,0 +1,155 @@
+"""Flight recorder: ring-buffer retention, post-mortem bundles, auto-dump."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import EqAso
+from repro.obs import (
+    FlightRecorder,
+    MemorySink,
+    TraceEvent,
+    Tracer,
+    dump_postmortem,
+    dumps_trace,
+    export_jsonl,
+    read_trace,
+)
+from repro.runtime.aio import AioCluster
+from repro.runtime.cluster import Cluster
+
+
+def event(i: int) -> TraceEvent:
+    return TraceEvent(t=float(i), lamport=i, node=0, kind="send", detail=str(i))
+
+
+# ----------------------------------------------------------------------
+# ring buffer semantics
+# ----------------------------------------------------------------------
+def test_ring_keeps_last_capacity_events():
+    sink = FlightRecorder(capacity=8)
+    for i in range(20):
+        sink.emit(event(i))
+    assert len(sink) == 8
+    assert sink.dropped == 12
+    assert [ev.detail for ev in sink.events] == [str(i) for i in range(12, 20)]
+
+
+def test_ring_below_capacity_drops_nothing():
+    sink = FlightRecorder(capacity=100)
+    for i in range(5):
+        sink.emit(event(i))
+    assert len(sink) == 5
+    assert sink.dropped == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(capacity=0)
+
+
+def test_flight_recorder_is_a_valid_tracer_sink():
+    """A full DES run through the ring retains exactly the tail."""
+    tracer = Tracer(FlightRecorder(capacity=64), meta={"seed": 0})
+    cluster = Cluster(EqAso, n=5, f=2, tracer=tracer)
+    cluster.run_ops([(0.0, 0, "update", ("a",)), (2.0, 1, "scan", ())])
+    assert tracer.events_emitted > 64
+    assert len(tracer.sink) == 64
+    assert tracer.sink.dropped == tracer.events_emitted - 64
+    # the retained window is the *most recent* events
+    times = [ev.t for ev in tracer.sink.events]
+    assert times == sorted(times)
+
+
+def test_export_duck_types_over_retaining_sinks():
+    """export works for MemorySink and FlightRecorder; the ring export
+    equals the tail of the full export's event lines."""
+    full = Tracer(MemorySink(), meta={"seed": 3})
+    ring = Tracer(FlightRecorder(capacity=32), meta={"seed": 3})
+    for tracer in (full, ring):
+        cluster = Cluster(EqAso, n=5, f=2, tracer=tracer)
+        cluster.run_ops([(0.0, 0, "update", ("a",)), (2.0, 1, "scan", ())])
+    full_lines = [
+        line for line in dumps_trace(full).splitlines() if '"type":"event"' in line
+    ]
+    ring_lines = [
+        line for line in dumps_trace(ring).splitlines() if '"type":"event"' in line
+    ]
+    assert len(ring_lines) == 32
+    assert ring_lines == full_lines[-32:]
+
+
+# ----------------------------------------------------------------------
+# post-mortem bundles
+# ----------------------------------------------------------------------
+def test_dump_postmortem_bundle_contents(tmp_path):
+    tracer = Tracer(FlightRecorder(capacity=50), meta={"seed": 0})
+    cluster = Cluster(EqAso, n=5, f=2, tracer=tracer)
+    cluster.run_ops([(0.0, 0, "update", ("a",)), (2.0, 1, "scan", ())])
+
+    paths = dump_postmortem(tracer, tmp_path / "pm", reason="test crash")
+    meta, events, spans = read_trace(paths["trace"])
+    assert meta["postmortem"] == "test crash"
+    assert meta["events_dropped"] == tracer.sink.dropped
+    assert len(events) == 50
+    assert len(spans) == len(tracer.spans)
+
+    manifest = json.loads((tmp_path / "pm" / "manifest.json").read_text())
+    assert manifest["reason"] == "test crash"
+    assert manifest["events_retained"] == 50
+    assert manifest["events_dropped"] == tracer.sink.dropped
+    assert manifest["events_emitted"] == tracer.events_emitted
+    assert manifest["capacity"] == 50
+
+    repro_txt = (tmp_path / "pm" / "repro.txt").read_text()
+    assert "repro.obs check" in repro_txt
+    assert str(paths["trace"]) in repro_txt
+
+
+def test_dump_postmortem_memory_sink_drops_nothing(tmp_path):
+    tracer = Tracer(MemorySink(), meta={"seed": 1})
+    cluster = Cluster(EqAso, n=4, f=1, tracer=tracer)
+    cluster.run_ops([(0.0, 0, "update", ("x",))])
+    paths = dump_postmortem(tracer, tmp_path / "pm")
+    meta, events, _spans = read_trace(paths["trace"])
+    assert "events_dropped" not in meta  # nothing was forgotten
+    assert len(events) == tracer.events_emitted
+
+
+# ----------------------------------------------------------------------
+# asyncio runtime auto-dump
+# ----------------------------------------------------------------------
+def test_aio_crash_dumps_bundle_automatically(tmp_path):
+    async def main():
+        tracer = Tracer(FlightRecorder(capacity=256))
+        cluster = AioCluster(
+            EqAso, n=4, f=1, seed=5, tracer=tracer, postmortem=tmp_path
+        )
+        await cluster.start()
+        await cluster.call(0, "update", "x")
+        cluster.crash(3)
+        await asyncio.sleep(0.01)
+        await cluster.call(1, "scan")
+        await cluster.shutdown()
+
+    asyncio.run(main())
+    bundle = tmp_path / "crash-node3"
+    assert (bundle / "trace.jsonl").exists()
+    manifest = json.loads((bundle / "manifest.json").read_text())
+    assert manifest["reason"] == "node 3: crash"
+    assert manifest["meta"]["runtime"] == "aio"
+    meta, events, _spans = read_trace(bundle / "trace.jsonl")
+    assert meta["postmortem"] == "node 3: crash"
+    assert any(ev["kind"] == "crash" and ev["node"] == 3 for ev in events)
+
+
+def test_aio_without_postmortem_dir_writes_nothing(tmp_path):
+    async def main():
+        cluster = AioCluster(EqAso, n=4, f=1, seed=5, tracer=None)
+        await cluster.start()
+        cluster.crash(3)
+        await cluster.shutdown()
+
+    asyncio.run(main())
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,203 @@
+"""Registry v2: gauges, HDR histograms, windows, no-op mode, the
+global telemetry handle, and byte-identity of the exact subclass."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    HDR_SUBBUCKETS,
+    Gauge,
+    HdrHistogram,
+    NullRegistry,
+    Registry,
+    set_telemetry,
+    telemetry,
+)
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_set_and_add():
+    g = Gauge("depth")
+    g.set(4.0)
+    g.add(-1.5)
+    assert g.value == 2.5
+    assert "depth" in repr(g)
+
+
+# ----------------------------------------------------------------------
+# HdrHistogram
+# ----------------------------------------------------------------------
+def test_hdr_exact_aggregates():
+    hist = HdrHistogram("lat")
+    hist.observe_many(float(v) for v in range(1000, 0, -1))
+    assert hist.count == 1000
+    assert hist.total == pytest.approx(500500.0)
+    assert hist.minimum == 1.0 and hist.maximum == 1000.0
+    assert hist.mean == pytest.approx(500.5)
+
+
+def test_hdr_percentile_bounded_relative_error():
+    hist = HdrHistogram()
+    hist.observe_many(float(v) for v in range(1, 10001))
+    for p, expect in ((50, 5000.0), (95, 9500.0), (99, 9900.0)):
+        got = hist.percentile(p)
+        assert got >= expect  # bucket upper bound never undershoots
+        assert got <= expect * (1 + 2 / HDR_SUBBUCKETS)
+    # extremes are exact: clamped to the observed range
+    assert hist.percentile(0) >= 1.0
+    assert hist.percentile(100) == 10000.0
+
+
+def test_hdr_single_value_and_zero_bucket():
+    hist = HdrHistogram()
+    hist.observe(3.0)
+    assert hist.p50 == hist.p99 == 3.0
+    hist2 = HdrHistogram()
+    hist2.observe(0.0)
+    hist2.observe(0.0)
+    assert hist2.p50 == 0.0 and hist2.maximum == 0.0
+
+
+def test_hdr_empty_is_nan_and_range_checked():
+    hist = HdrHistogram("empty")
+    assert hist.empty and math.isnan(hist.mean) and math.isnan(hist.p95)
+    assert "empty" in repr(hist)
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    assert set(hist.summary()) == {
+        "count", "mean", "min", "p50", "p95", "p99", "max",
+    }
+
+
+def test_hdr_bucketing_is_deterministic():
+    """Same observations → same buckets, independent of insert order."""
+    a, b = HdrHistogram(), HdrHistogram()
+    values = [0.001, 0.5, 1.0, 1.03, 7.9, 1e6, 3.14159]
+    a.observe_many(values)
+    b.observe_many(reversed(values))
+    assert a._buckets == b._buckets
+    sa, sb = a.summary(), b.summary()
+    assert sa["mean"] == pytest.approx(sb["mean"])  # float-sum order
+    for key in ("count", "min", "p50", "p95", "p99", "max"):
+        assert sa[key] == sb[key]
+
+
+def test_hdr_window_resets_independently_of_totals():
+    hist = HdrHistogram()
+    hist.observe_many([1.0, 2.0, 3.0])
+    first = hist.window_summary()
+    assert first["count"] == 3 and first["max"] == 3.0
+    hist.observe(10.0)
+    second = hist.window_summary()
+    assert second["count"] == 1 and second["min"] == 10.0
+    assert hist.count == 4 and hist.maximum == 10.0  # totals untouched
+    assert hist.window_summary(reset=False)["count"] == 0
+
+
+def test_hdr_merge():
+    a, b = HdrHistogram(), HdrHistogram()
+    a.observe_many([1.0, 2.0])
+    b.observe_many([3.0, 4.0])
+    a.merge(b)
+    assert a.count == 4 and a.maximum == 4.0 and a.total == 10.0
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_namespace_and_to_dict():
+    reg = Registry()
+    reg.counter("ops").inc(3)
+    reg.gauge("queue.depth").set(7.0)
+    reg.histogram("lat").observe(2.0)
+    d = reg.to_dict()
+    assert d["counters"] == {"ops": 3}
+    assert d["gauges"] == {"queue.depth": 7.0}
+    assert d["histograms"]["lat"]["count"] == 1
+    assert reg.counter("ops") is reg.counter("ops")
+    assert list(reg.metric_names()) == ["ops", "queue.depth", "lat"]
+
+
+def test_registry_without_gauges_keeps_v1_dict_shape():
+    reg = Registry()
+    reg.counter("ops").inc()
+    assert set(reg.to_dict()) == {"counters", "histograms"}
+
+
+def test_registry_window_deltas():
+    reg = Registry()
+    reg.counter("sent").inc(5)
+    reg.histogram("lat").observe(1.0)
+    win = reg.window()
+    assert win["counters"] == {"sent": 5}
+    assert win["histograms"]["lat"]["count"] == 1
+    reg.counter("sent").inc(2)
+    assert reg.window()["counters"] == {"sent": 2}
+    assert reg.window()["counters"] == {"sent": 0}
+
+
+def test_registry_format_lines_covers_gauges():
+    reg = Registry()
+    reg.gauge("conns").set(3)
+    reg.histogram("never")
+    text = "\n".join(reg.format_lines())
+    assert "conns" in text and "(empty)" in text
+
+
+def test_registry_json_serializable():
+    reg = Registry()
+    reg.counter("a").inc()
+    reg.histogram("b").observe(1.5)
+    json.dumps(reg.to_dict())  # no NaN in populated metrics
+
+
+# ----------------------------------------------------------------------
+# no-op mode + global handle
+# ----------------------------------------------------------------------
+def test_null_registry_accumulates_nothing():
+    reg = NullRegistry()
+    assert reg.enabled is False
+    reg.counter("x").inc(100)
+    reg.gauge("y").set(5.0)
+    reg.histogram("z").observe(1.0)
+    assert reg.counter("x").value == 0
+    assert reg.gauge("y").value == 0.0
+    assert reg.histogram("z").count == 0
+    assert reg.to_dict() == {"counters": {}, "histograms": {}}
+    # shared singletons: no per-call allocation
+    assert reg.counter("a") is reg.counter("b")
+    assert reg.histogram("a") is reg.histogram("b")
+
+
+def test_global_telemetry_defaults_to_noop_and_scopes():
+    assert telemetry().enabled is False
+    live = Registry()
+    previous = set_telemetry(live)
+    try:
+        assert telemetry() is live
+        telemetry().counter("hits").inc()
+        assert live.counter("hits").value == 1
+    finally:
+        set_telemetry(previous)
+    assert telemetry().enabled is False
+    assert set_telemetry(None).enabled is False  # None restores no-op
+
+
+# ----------------------------------------------------------------------
+# exact subclass inherits the v2 surface
+# ----------------------------------------------------------------------
+def test_metrics_registry_is_a_registry_with_exact_histograms():
+    from repro.obs.metrics import Histogram, MetricsRegistry
+
+    reg = MetricsRegistry()
+    assert isinstance(reg, Registry) and reg.enabled
+    assert isinstance(reg.histogram("lat"), Histogram)
+    reg.histogram("lat").observe_many([3.0, 1.0, 2.0])
+    assert reg.histogram("lat").p50 == 2.0  # exact, not bucketed
+    reg.gauge("g").set(1.0)  # gauges available on the exact registry too
+    assert reg.to_dict()["gauges"] == {"g": 1.0}

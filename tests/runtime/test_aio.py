@@ -146,3 +146,34 @@ def test_aio_histories_feed_the_same_checkers():
     assert len(order) == 3
     rebuilt = history_from_dict(history_to_dict(cluster.history))
     assert check_atomicity_conditions(rebuilt) == []
+
+
+def test_aio_trace_replay_checks_under_crash(tmp_path):
+    """A live (wall-clock) trace with a crash mid-run replays through
+    the same polynomial checkers via ``python -m repro.obs check``."""
+    from repro.obs import MemorySink, Tracer, export_jsonl, read_trace
+    from repro.obs.__main__ import main as obs_main
+    from repro.obs.replay import replay_check
+
+    async def main():
+        tracer = Tracer(MemorySink())
+        plan = CrashPlan({3: CrashAtTime(0.004)})
+        cluster = AioCluster(EqAso, n=4, f=1, seed=11, crash_plan=plan, tracer=tracer)
+        await cluster.start()
+        await cluster.call(0, "update", "x")
+        await asyncio.gather(
+            cluster.call(1, "update", "y"), cluster.call(2, "scan")
+        )
+        await asyncio.sleep(0.01)
+        await cluster.call(1, "scan")
+        await cluster.shutdown()
+        return cluster, tracer
+
+    cluster, tracer = run(main())
+    assert is_linearizable(cluster.history)
+    path = tmp_path / "live.jsonl"
+    export_jsonl(tracer, path)
+    meta, _events, spans = read_trace(path)
+    result = replay_check(meta, spans)
+    assert result.ok and result.level == "linearizable"
+    assert obs_main(["check", str(path)]) == 0
