@@ -1,22 +1,31 @@
 """CLI: ``python -m repro.lint [paths] [options]``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error (unknown rule
-id, missing path).  ``--select``/``--ignore`` take comma- or
-space-separated rule ids and override ``[tool.repro-lint]`` in
-pyproject.toml.
+Exit codes: 0 = clean, 1 = findings (or stale suppressions under
+``--strict-suppressions``, or an invalid document under ``--validate``),
+2 = usage/IO error (unknown rule id, missing path).
+``--select``/``--ignore`` take comma- or space-separated rule ids and
+override ``[tool.repro-lint]`` in pyproject.toml.
+
+Beyond linting, the same entry point exposes the message-flow graph
+(``--graph dot | json``) and validates previously produced JSON
+documents against their schemas (``--validate FILE``, used in CI).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Sequence
 
 from repro.lint.config import LintConfig
-from repro.lint.engine import run_lint
+from repro.lint.engine import collect_files, parse_modules, run_lint
 from repro.lint.report import format_json, format_text
 from repro.lint.rules import ALL_RULES
+
+#: default on-disk location of the whole-project result cache
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
 
 
 def _rule_ids(values: Sequence[str]) -> frozenset[str]:
@@ -38,7 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based protocol-safety linter: determinism (RL001), "
             "sans-io purity (RL002), message immutability (RL003), "
-            "quorum arithmetic (RL004), phase coverage (RL005)"
+            "quorum arithmetic (RL004), phase coverage (RL005), view "
+            "encapsulation (RL006), dead letters/handlers (RL007), "
+            "message field conformance (RL008), symbolic quorum safety "
+            "(RL009), unsatisfiable waits (RL010)"
         ),
     )
     parser.add_argument(
@@ -68,6 +80,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rule ids (comma-separated, repeatable)",
     )
     parser.add_argument(
+        "--context",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help=(
+            "extra files/directories parsed into the project index "
+            "(whole-program rules see them) but not linted themselves"
+        ),
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        default=None,
+        metavar="FMT",
+        help=(
+            "print the message-flow graph of the given paths (plus "
+            "--context) as Graphviz DOT or JSON instead of linting"
+        ),
+    )
+    parser.add_argument(
+        "--validate",
+        default=None,
+        metavar="FILE",
+        help=(
+            "validate a previously produced '--format json' report or "
+            "'--graph json' export against its schema and exit"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=f"disable the result cache ({DEFAULT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help="exit 1 when stale '# lint: ignore[...]' comments remain",
+    )
+    parser.add_argument(
         "--no-hints",
         action="store_true",
         help="omit fix hints from text output",
@@ -88,6 +139,57 @@ def list_rules() -> str:
     return "\n".join(lines)
 
 
+def _print_graph(
+    paths: Sequence[str],
+    context: Sequence[str],
+    config: LintConfig,
+    fmt: str,
+) -> int:
+    from repro.lint.flow import (
+        build_flow_graph,
+        format_graph_dot,
+        format_graph_json,
+    )
+    from repro.lint.project import ProjectIndex
+
+    files = collect_files(paths, config)
+    seen = {str(p) for p in files}
+    files += [p for p in collect_files(context, config) if str(p) not in seen]
+    modules, errors = parse_modules(files)
+    for error in errors:
+        print(error.render(), file=sys.stderr)
+    index = ProjectIndex(modules)
+    graph = build_flow_graph(index)
+    if fmt == "dot":
+        print(format_graph_dot(graph, index))
+    else:
+        print(format_graph_json(graph, index))
+    return 0
+
+
+def _validate_file(target: str) -> int:
+    from repro.lint.schema import validate_graph, validate_lint_report
+
+    try:
+        document = json.loads(
+            pathlib.Path(target).read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {target}: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(document, dict) and "edges" in document:
+        kind, problems = "graph", validate_graph(document)
+    else:
+        kind, problems = "lint report", validate_lint_report(document)
+    if problems:
+        for problem in problems:
+            print(f"{target}: {problem}")
+        print(f"{target}: invalid {kind} ({len(problems)} problem(s))")
+        return 1
+    print(f"{target}: valid {kind}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _main(argv)
@@ -101,6 +203,8 @@ def _main(argv: Sequence[str] | None) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+    if args.validate is not None:
+        return _validate_file(args.validate)
     try:
         select = None if args.select is None else _rule_ids(args.select)
         ignore = None if args.ignore is None else _rule_ids(args.ignore)
@@ -110,8 +214,18 @@ def _main(argv: Sequence[str] | None) -> int:
     config = LintConfig.from_pyproject(pathlib.Path.cwd()).with_selection(
         select=select, ignore=ignore
     )
+    context = args.context if args.context is not None else []
+    if args.graph is not None:
+        try:
+            return _print_graph(args.paths, context, config, args.graph)
+        except (FileNotFoundError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    cache_dir = None if args.no_cache else DEFAULT_CACHE_DIR
     try:
-        result = run_lint(args.paths, config)
+        result = run_lint(
+            args.paths, config, context=context, cache_dir=cache_dir
+        )
     except (FileNotFoundError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -119,7 +233,11 @@ def _main(argv: Sequence[str] | None) -> int:
         print(format_json(result))
     else:
         print(format_text(result, verbose_hints=not args.no_hints))
-    return 0 if result.ok else 1
+    if not result.ok:
+        return 1
+    if args.strict_suppressions and result.stale_suppressions:
+        return 1
+    return 0
 
 
-__all__ = ["build_parser", "list_rules", "main"]
+__all__ = ["DEFAULT_CACHE_DIR", "build_parser", "list_rules", "main"]

@@ -77,6 +77,11 @@ DEFAULT_EXCLUDE_PARTS: tuple[str, ...] = (
     "dist/",
     # deliberately-bad rule fixtures; linted explicitly by the tests
     "tests/lint/fixtures",
+    # quorum-weakened chaos mutants: deliberately unsafe protocol
+    # variants that must FAIL RL009 — linted explicitly (with
+    # `--context src/repro --select RL009`) by the tests and CI, which
+    # assert the findings are present
+    "chaos/mutants.py",
 )
 
 

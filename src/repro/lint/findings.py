@@ -70,5 +70,10 @@ class Finding:
 #: comment) because a file that does not parse cannot be analyzed at all.
 PARSE_ERROR_ID = "PARSE"
 
+#: Pseudo rule id for ``# lint: ignore[...]`` comments that no longer
+#: suppress anything.  Reported separately from real findings (warnings
+#: by default; ``--strict-suppressions`` makes them fail the build).
+STALE_SUPPRESSION_ID = "STALE"
 
-__all__ = ["Finding", "PARSE_ERROR_ID", "Severity"]
+
+__all__ = ["Finding", "PARSE_ERROR_ID", "STALE_SUPPRESSION_ID", "Severity"]

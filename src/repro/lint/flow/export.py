@@ -1,0 +1,150 @@
+"""Graph export: the message-flow graph as JSON (schema'd) or Graphviz DOT.
+
+The exported graph doubles as architecture documentation: protocol
+classes are boxes, message types are ellipses, a ``class -> message``
+edge is a send site and a ``message -> class`` edge a consume site
+labelled with the fields the consumer touches.  ``python -m repro.lint
+--graph dot | dot -Tsvg`` renders the conversation structure of the
+whole reproduction; ``--graph json`` feeds tooling (validated in CI via
+:mod:`repro.lint.schema`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+from repro.lint.flow.graph import FlowGraph
+from repro.lint.flow.symbolic import protocol_fault_models
+from repro.lint.project import ProjectIndex
+
+#: bump on breaking changes to the ``--graph json`` layout
+GRAPH_SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: FlowGraph, index: ProjectIndex) -> dict[str, object]:
+    """JSON-ready representation of the flow graph."""
+    models = protocol_fault_models(index)
+    classes = [
+        {
+            "name": name,
+            "module": index.classes[name].module_path,
+            "fault_model": models[name].describe(),
+        }
+        for name in sorted(models)
+    ]
+    messages = []
+    sent_by: dict[str, set[str]] = defaultdict(set)
+    consumed_by: dict[str, set[str]] = defaultdict(set)
+    for send in graph.sends:
+        sent_by[send.message].add(send.cls or "<module>")
+    for consume in graph.consumes:
+        consumed_by[consume.message].add(consume.cls or "<module>")
+    for name in sorted(graph.schemas):
+        schema = graph.schemas[name]
+        messages.append(
+            {
+                "name": name,
+                "module": schema.module_path,
+                "fields": list(schema.fields),
+                "sent_by": sorted(sent_by.get(name, ())),
+                "consumed_by": sorted(consumed_by.get(name, ())),
+            }
+        )
+    edges: list[dict[str, object]] = []
+    for send in graph.sends:
+        edges.append(
+            {
+                "kind": "send",
+                "class": send.cls or "<module>",
+                "method": send.method or "<module>",
+                "message": send.message,
+                "via": send.via,
+                "path": send.path,
+                "line": send.lineno,
+                "fields": [],
+            }
+        )
+    for consume in graph.consumes:
+        edges.append(
+            {
+                "kind": "consume",
+                "class": consume.cls or "<module>",
+                "method": consume.method or "<module>",
+                "message": consume.message,
+                "via": consume.kind,
+                "path": consume.path,
+                "line": consume.lineno,
+                "fields": sorted(set(consume.fields_read)),
+            }
+        )
+    edges.sort(
+        key=lambda e: (str(e["path"]), int(e["line"]), str(e["kind"]))  # type: ignore[arg-type]
+    )
+    return {
+        "version": GRAPH_SCHEMA_VERSION,
+        "classes": classes,
+        "messages": messages,
+        "edges": edges,
+    }
+
+
+def format_graph_json(graph: FlowGraph, index: ProjectIndex) -> str:
+    return json.dumps(graph_to_dict(graph, index), indent=2)
+
+
+def _dot_quote(value: str) -> str:
+    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def format_graph_dot(graph: FlowGraph, index: ProjectIndex) -> str:
+    """Graphviz DOT rendering of the flow graph.
+
+    Only classes that actually send or consume a known message appear —
+    an unconnected node is noise in an architecture diagram.
+    """
+    lines = [
+        "digraph message_flow {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+    models = protocol_fault_models(index)
+    active: set[str] = set()
+    send_edges: dict[tuple[str, str], int] = defaultdict(int)
+    consume_edges: dict[tuple[str, str], set[str]] = defaultdict(set)
+    for send in graph.sends:
+        if send.cls is not None:
+            active.add(send.cls)
+            send_edges[(send.cls, send.message)] += 1
+    for consume in graph.consumes:
+        if consume.cls is not None and consume.is_arm:
+            active.add(consume.cls)
+            consume_edges[(consume.message, consume.cls)].update(
+                consume.fields_read
+            )
+    for name in sorted(active):
+        label = name
+        if name in models:
+            label = f"{name}\\n[{models[name].describe()}]"
+        lines.append(f"  {_dot_quote(name)} [shape=box, label={_dot_quote(label)}];")
+    used_messages = {m for _, m in send_edges} | {m for m, _ in consume_edges}
+    for name in sorted(used_messages):
+        lines.append(f"  {_dot_quote(name)} [shape=ellipse];")
+    for (cls, message), count in sorted(send_edges.items()):
+        label = f"x{count}" if count > 1 else ""
+        attrs = f' [label="{label}"]' if label else ""
+        lines.append(f"  {_dot_quote(cls)} -> {_dot_quote(message)}{attrs};")
+    for (message, cls), fields in sorted(consume_edges.items()):
+        label = ",".join(sorted(fields))
+        attrs = f" [label={_dot_quote(label)}, style=dashed]" if label else " [style=dashed]"
+        lines.append(f"  {_dot_quote(message)} -> {_dot_quote(cls)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "GRAPH_SCHEMA_VERSION",
+    "format_graph_dot",
+    "format_graph_json",
+    "graph_to_dict",
+]

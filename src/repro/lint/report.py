@@ -1,9 +1,9 @@
-"""Reporters: text for humans, JSON (schema v1) for CI and tooling.
+"""Reporters: text for humans, JSON (schema v2) for CI and tooling.
 
 JSON schema (stable; bump ``version`` on breaking change)::
 
     {
-      "version": 1,
+      "version": 2,
       "files_checked": <int>,
       "rules_run": ["RL001", ...],
       "counts": {"RL001": <int>, ...},       # only rules with findings
@@ -11,8 +11,11 @@ JSON schema (stable; bump ``version`` on breaking change)::
         {"rule": str, "severity": "error"|"warning", "path": str,
          "line": int, "col": int, "message": str, "fix_hint": str},
         ...
-      ]
+      ],
+      "stale_suppressions": [<same element shape, rule == "STALE">, ...]
     }
+
+v1 -> v2: added ``stale_suppressions``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from collections import Counter
 
 from repro.lint.engine import LintResult
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def format_text(result: LintResult, *, verbose_hints: bool = True) -> str:
@@ -43,6 +46,13 @@ def format_text(result: LintResult, *, verbose_hints: bool = True) -> str:
         )
     else:
         lines.append(f"ok: {result.files_checked} file(s) clean")
+    if result.stale_suppressions:
+        for finding in result.stale_suppressions:
+            lines.append(finding.render())
+        lines.append(
+            f"{len(result.stale_suppressions)} stale suppression(s) — "
+            "remove them, or fail on them with --strict-suppressions"
+        )
     return "\n".join(lines)
 
 
@@ -54,6 +64,9 @@ def format_json(result: LintResult) -> str:
         "rules_run": list(result.rules_run),
         "counts": dict(sorted(counts.items())),
         "findings": [f.to_dict() for f in result.findings],
+        "stale_suppressions": [
+            f.to_dict() for f in result.stale_suppressions
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
 

@@ -14,6 +14,14 @@ from repro.lint.rules.rl003_immutability import MessageImmutabilityRule
 from repro.lint.rules.rl004_quorum import QuorumArithmeticRule
 from repro.lint.rules.rl005_phases import PhaseCoverageRule
 from repro.lint.rules.rl006_views import ViewPlaneEncapsulationRule
+from repro.lint.rules.rl007_dead_letters import DeadLetterRule
+from repro.lint.rules.rl008_fields import FieldConformanceRule
+from repro.lint.rules.rl009_quorum_safety import QuorumSafetyRule
+from repro.lint.rules.rl010_liveness import UnsatisfiableWaitRule
+
+#: bump whenever any rule's behaviour changes — part of the result-cache
+#: fingerprint, so stale cached findings can never survive a rule edit
+RULES_VERSION = "2026.08-rl010"
 
 #: rule id -> rule instance (rules are stateless; one instance serves
 #: every run)
@@ -26,8 +34,12 @@ ALL_RULES: dict[str, Rule] = {
         QuorumArithmeticRule(),
         PhaseCoverageRule(),
         ViewPlaneEncapsulationRule(),
+        DeadLetterRule(),
+        FieldConformanceRule(),
+        QuorumSafetyRule(),
+        UnsatisfiableWaitRule(),
     )
 }
 
 
-__all__ = ["ALL_RULES", "Rule"]
+__all__ = ["ALL_RULES", "RULES_VERSION", "Rule"]

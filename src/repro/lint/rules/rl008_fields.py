@@ -1,0 +1,157 @@
+"""RL008 — message field conformance.
+
+Messages are frozen dataclasses, so their schema is fully static.  This
+rule checks both ends of every flow edge against that schema:
+
+- **constructions**: too many positional arguments, unknown keyword
+  arguments, or a missing required field (skipped when ``*args`` /
+  ``**kwargs`` forwarding makes the call unanalyzable);
+- **field reads**: ``payload.epoch`` under an ``isinstance``/``match``
+  narrowing where the class defines no ``epoch``.  Reads are checked
+  against the full attribute surface (fields plus methods, properties
+  and class attributes along the MRO), and only for classes that are
+  actually *sent* — a value type like ``ValueTs`` that merely shows up
+  in an ``isinstance`` never constrains its richer property API;
+- **match arity**: class patterns with more positional sub-patterns
+  than the dataclass has fields, or keyword patterns naming absent
+  fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.flow.graph import build_flow_graph
+from repro.lint.project import ModuleInfo, ProjectIndex
+from repro.lint.rules.base import Rule
+
+
+class FieldConformanceRule(Rule):
+    rule_id = "RL008"
+    summary = "message constructions, reads and patterns match the schema"
+    fix_hint = (
+        "align the call/pattern with the message dataclass definition "
+        "(field names and order are the schema)"
+    )
+
+    def check(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        graph = build_flow_graph(index)
+        sent = graph.sent_names
+        for con in graph.constructions:
+            if con.path != module.path:
+                continue
+            schema = graph.schemas.get(con.message)
+            if schema is None or con.has_star:
+                continue
+            fields = schema.fields
+            if con.n_positional > len(fields):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=module.path,
+                    line=con.lineno,
+                    col=con.col,
+                    message=(
+                        f"'{con.message}' takes {len(fields)} field(s) "
+                        f"{fields} but is constructed with "
+                        f"{con.n_positional} positional argument(s)"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+                continue
+            unknown = [k for k in con.keyword_names if k not in fields]
+            if unknown:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=module.path,
+                    line=con.lineno,
+                    col=con.col,
+                    message=(
+                        f"'{con.message}' has no field(s) "
+                        f"{tuple(sorted(unknown))}; its schema is {fields}"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+                continue
+            provided = set(fields[: con.n_positional]) | set(con.keyword_names)
+            missing = [r for r in schema.required if r not in provided]
+            if missing:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=module.path,
+                    line=con.lineno,
+                    col=con.col,
+                    message=(
+                        f"'{con.message}' construction misses required "
+                        f"field(s) {tuple(missing)}"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+        for read in graph.reads:
+            if read.path != module.path:
+                continue
+            if read.message not in sent:
+                continue
+            schema = graph.schemas.get(read.message)
+            if schema is None:
+                continue
+            if read.attr in schema.attrs or read.attr.startswith("__"):
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                severity=self.severity,
+                path=module.path,
+                line=read.lineno,
+                col=read.col,
+                message=(
+                    f"read of '.{read.attr}' on a value narrowed to "
+                    f"'{read.message}', which defines no such field "
+                    f"(schema: {schema.fields})"
+                ),
+                fix_hint=self.fix_hint,
+            )
+        for consume in graph.consumes:
+            if consume.path != module.path or consume.kind != "match":
+                continue
+            schema = graph.schemas.get(consume.message)
+            if schema is None:
+                continue
+            fields = schema.fields
+            if consume.n_positional > len(fields):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=module.path,
+                    line=consume.lineno,
+                    col=consume.col,
+                    message=(
+                        f"match pattern for '{consume.message}' captures "
+                        f"{consume.n_positional} positional field(s) but "
+                        f"the schema has only {len(fields)}: {fields}"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+            bad_kwd = [k for k in consume.keyword_names if k not in fields]
+            if bad_kwd:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=module.path,
+                    line=consume.lineno,
+                    col=consume.col,
+                    message=(
+                        f"match pattern for '{consume.message}' names "
+                        f"absent field(s) {tuple(sorted(bad_kwd))}; "
+                        f"schema: {fields}"
+                    ),
+                    fix_hint=self.fix_hint,
+                )
+
+
+__all__ = ["FieldConformanceRule"]

@@ -1,0 +1,137 @@
+"""Structural validators for the linter's machine-readable outputs.
+
+Built on the same :func:`repro.bench.schema.check_fields` idiom as the
+bench and chaos report validators: one shared helper, one list of
+human-readable problems per document, empty list = valid.  CI runs
+``python -m repro.lint --validate`` over both the ``--format json``
+report and the ``--graph json`` export so a schema drift fails the build
+instead of silently breaking downstream tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bench.schema import check_fields
+from repro.lint.flow.export import GRAPH_SCHEMA_VERSION
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+_SEVERITIES = {"error", "warning"}
+
+
+def _check_finding(obj: Any, where: str) -> list[str]:
+    problems = check_fields(
+        obj,
+        {
+            "rule": str,
+            "severity": str,
+            "path": str,
+            "line": int,
+            "col": int,
+            "message": str,
+            "fix_hint": str,
+        },
+        where,
+    )
+    if not problems and obj["severity"] not in _SEVERITIES:
+        problems.append(
+            f"{where}.severity: expected one of {sorted(_SEVERITIES)}, "
+            f"got {obj['severity']!r}"
+        )
+    return problems
+
+
+def validate_lint_report(report: Any) -> list[str]:
+    """Structurally validate a ``--format json`` report."""
+    problems = check_fields(
+        report,
+        {
+            "version": int,
+            "files_checked": int,
+            "rules_run": list,
+            "counts": dict,
+            "findings": list,
+            "stale_suppressions": list,
+        },
+        "report",
+    )
+    if problems:
+        return problems
+    if report["version"] != JSON_SCHEMA_VERSION:
+        problems.append(
+            f"report.version: expected {JSON_SCHEMA_VERSION}, "
+            f"got {report['version']}"
+        )
+    for i, rule in enumerate(report["rules_run"]):
+        if not isinstance(rule, str):
+            problems.append(f"report.rules_run[{i}]: expected str")
+    for rule, count in report["counts"].items():
+        if not isinstance(rule, str) or not isinstance(count, int):
+            problems.append(f"report.counts[{rule!r}]: expected str -> int")
+    for key in ("findings", "stale_suppressions"):
+        for i, finding in enumerate(report[key]):
+            problems.extend(_check_finding(finding, f"report.{key}[{i}]"))
+    return problems
+
+
+def validate_graph(graph: Any) -> list[str]:
+    """Structurally validate a ``--graph json`` export."""
+    problems = check_fields(
+        graph,
+        {"version": int, "classes": list, "messages": list, "edges": list},
+        "graph",
+    )
+    if problems:
+        return problems
+    if graph["version"] != GRAPH_SCHEMA_VERSION:
+        problems.append(
+            f"graph.version: expected {GRAPH_SCHEMA_VERSION}, "
+            f"got {graph['version']}"
+        )
+    for i, cls in enumerate(graph["classes"]):
+        problems.extend(
+            check_fields(
+                cls,
+                {"name": str, "module": str, "fault_model": str},
+                f"graph.classes[{i}]",
+            )
+        )
+    for i, message in enumerate(graph["messages"]):
+        problems.extend(
+            check_fields(
+                message,
+                {
+                    "name": str,
+                    "module": str,
+                    "fields": list,
+                    "sent_by": list,
+                    "consumed_by": list,
+                },
+                f"graph.messages[{i}]",
+            )
+        )
+    for i, edge in enumerate(graph["edges"]):
+        sub = check_fields(
+            edge,
+            {
+                "kind": str,
+                "class": str,
+                "method": str,
+                "message": str,
+                "via": str,
+                "path": str,
+                "line": int,
+                "fields": list,
+            },
+            f"graph.edges[{i}]",
+        )
+        problems.extend(sub)
+        if not sub and edge["kind"] not in ("send", "consume"):
+            problems.append(
+                f"graph.edges[{i}].kind: expected 'send' or 'consume', "
+                f"got {edge['kind']!r}"
+            )
+    return problems
+
+
+__all__ = ["validate_graph", "validate_lint_report"]

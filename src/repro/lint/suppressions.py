@@ -36,6 +36,21 @@ _SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
 ALL_RULES = "*"
 
 
+@dataclass(frozen=True, slots=True)
+class SuppressionEntry:
+    """One ``# lint: ignore[...]`` comment with explicit rule ids.
+
+    Blanket ``# lint: ignore`` and ``skip-file`` forms are *not*
+    recorded — staleness is only decidable for a named rule id.
+    """
+
+    #: physical line of the comment itself (where staleness is reported)
+    line: int
+    #: line the suppression applies to (``+1`` for the next-line form)
+    target_line: int
+    ids: frozenset[str]
+
+
 @dataclass(slots=True)
 class FileSuppressions:
     """Suppression state for one source file."""
@@ -43,6 +58,8 @@ class FileSuppressions:
     skip_file: bool = False
     #: line number -> set of rule ids (or :data:`ALL_RULES`)
     by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: id-carrying comments, for stale-suppression detection
+    entries: list[SuppressionEntry] = field(default_factory=list)
 
     def is_suppressed(self, finding: Finding) -> bool:
         if self.skip_file:
@@ -80,9 +97,22 @@ def extract_suppressions(source: str) -> FileSuppressions:
             else:
                 ids = {r.strip() for r in rules.split(",") if r.strip()}
                 out.by_line.setdefault(line, set()).update(ids)
+                if ids:
+                    out.entries.append(
+                        SuppressionEntry(
+                            line=tok.start[0],
+                            target_line=line,
+                            ids=frozenset(ids),
+                        )
+                    )
     except tokenize.TokenError:
         pass
     return out
 
 
-__all__ = ["ALL_RULES", "FileSuppressions", "extract_suppressions"]
+__all__ = [
+    "ALL_RULES",
+    "FileSuppressions",
+    "SuppressionEntry",
+    "extract_suppressions",
+]

@@ -1,0 +1,43 @@
+# lint fixture: RL007 violations — a dead letter (MOrphan is sent but
+# never consumed) and a dead handler (the MGhost arm has no sender).
+# MEcho is properly paired and must not be flagged.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MEcho:
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class MOrphan:
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class MGhost:
+    origin: int
+
+
+class LeakyNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.echoes = set()
+
+    def ping(self):
+        self.phase_enter("ping")
+        self.broadcast(MEcho(self.node_id))
+        self.broadcast(MOrphan(self.node_id))  # dead letter
+        yield WaitUntil(
+            lambda: len(self.echoes) >= self.quorum_size, "echo quorum"
+        )
+        self.phase_exit("ping")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MEcho(origin):
+                self.echoes.add(origin)
+            case MGhost(origin):  # dead handler: nothing sends MGhost
+                self.echoes.add(origin)

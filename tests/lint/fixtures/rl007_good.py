@@ -1,0 +1,36 @@
+# lint fixture: RL007-clean — every sent message type has a handler arm
+# and every handler arm a sender (request/ack pairing).
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MReq:
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class MAck:
+    origin: int
+
+
+class PairedNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = set()
+
+    def round_trip(self):
+        self.phase_enter("round")
+        self.broadcast(MReq(self.node_id))
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.quorum_size, "ack quorum"
+        )
+        self.phase_exit("round")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MReq(origin):
+                self.send(origin, MAck(self.node_id))
+            case MAck(origin):
+                self.acks.add(origin)

@@ -1,0 +1,28 @@
+# lint fixture: RL008 violations — constructions, a narrowed field read
+# and a match pattern that disagree with the MTagged(tag, reqid) schema.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode
+
+
+@dataclass(frozen=True, slots=True)
+class MTagged:
+    tag: int
+    reqid: int
+
+
+class DriftNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.latest = 0
+
+    def poke(self):
+        self.broadcast(MTagged(1, 2, 3))  # too many positionals
+        self.broadcast(MTagged(tag=1, epoch=9))  # unknown keyword
+
+    def on_message(self, src, payload):
+        if isinstance(payload, MTagged):
+            self.latest = payload.epoch  # no such field
+        match payload:
+            case MTagged(tag, reqid, extra):  # 3 positionals, 2 fields
+                self.latest = tag + reqid + extra

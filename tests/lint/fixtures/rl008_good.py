@@ -1,0 +1,34 @@
+# lint fixture: RL008-clean — constructions may omit defaulted fields,
+# narrowed reads touch declared fields, match patterns respect arity.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MSized:
+    tag: int
+    reqid: int = 0
+
+
+class SizedNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.seen = set()
+        self.latest = 0
+
+    def poke(self):
+        self.phase_enter("poke")
+        self.broadcast(MSized(1))
+        self.broadcast(MSized(2, reqid=7))
+        yield WaitUntil(
+            lambda: len(self.seen) >= self.quorum_size, "seen quorum"
+        )
+        self.phase_exit("poke")
+
+    def on_message(self, src, payload):
+        if isinstance(payload, MSized) and payload.tag > self.latest:
+            self.latest = payload.tag
+        match payload:
+            case MSized(tag, reqid=rq):
+                self.seen.add((src, tag, rq))

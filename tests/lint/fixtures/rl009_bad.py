@@ -1,0 +1,56 @@
+# lint fixture: RL009 violations — wait thresholds that do not
+# guarantee quorum intersection under the class's declared fault model.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MVoteReq:
+    origin: int
+
+
+class WeakCrashNode(ProtocolNode):
+    """Declares n > 2f but waits on only f+1 acks: two such waits can
+    miss each other entirely at n = 2f+1 with f crashed responders."""
+
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        if n <= 2 * f:
+            raise ValueError("crash model requires n > 2f")
+        self.acks = set()
+
+    def write(self):
+        self.phase_enter("write")
+        self.broadcast(MVoteReq(self.node_id))
+        yield WaitUntil(lambda: len(self.acks) >= self.f + 1, "weak quorum")
+        self.phase_exit("write")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MVoteReq(origin):
+                self.acks.add(origin)
+
+
+class WeakByzNode(ProtocolNode):
+    """Declares n > 3f but waits on n−2f acks: two such quorums may
+    overlap only in Byzantine nodes."""
+
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        if n <= 3 * f:
+            raise ValueError("byzantine model requires n > 3f")
+        self.acks = set()
+
+    def write(self):
+        self.phase_enter("write")
+        self.broadcast(MVoteReq(self.node_id))
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.n - 2 * self.f, "n-2f quorum"
+        )
+        self.phase_exit("write")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MVoteReq(origin):
+                self.acks.add(origin)

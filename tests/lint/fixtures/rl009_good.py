@@ -1,0 +1,52 @@
+# lint fixture: RL009-clean — thresholds provably intersect under the
+# declared fault model (n−f works for both crash and Byzantine).
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MSafeReq:
+    origin: int
+
+
+class SafeCrashNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        if n <= 2 * f:
+            raise ValueError("crash model requires n > 2f")
+        self.acks = set()
+
+    def write(self):
+        self.phase_enter("write")
+        self.broadcast(MSafeReq(self.node_id))
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.quorum_size, "n-f quorum"
+        )
+        self.phase_exit("write")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MSafeReq(origin):
+                self.acks.add(origin)
+
+
+class SafeByzNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        if n <= 3 * f:
+            raise ValueError("byzantine model requires n > 3f")
+        self.acks = set()
+
+    def write(self):
+        self.phase_enter("write")
+        self.broadcast(MSafeReq(self.node_id))
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.n - self.f, "n-f quorum"
+        )
+        self.phase_exit("write")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MSafeReq(origin):
+                self.acks.add(origin)

@@ -1,0 +1,36 @@
+# lint fixture: RL010 violations — a wait on state no handler fills
+# (the handler mutates self.notes, the wait reads self.acks) and a
+# constant-false wait.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MNote:
+    origin: int
+
+
+class StuckNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self.acks = set()
+        self.notes = set()
+
+    def stuck(self):
+        self.phase_enter("stuck")
+        self.broadcast(MNote(self.node_id))
+        yield WaitUntil(
+            lambda: len(self.acks) >= self.quorum_size, "ack quorum"
+        )
+        self.phase_exit("stuck")
+
+    def halt(self):
+        self.phase_enter("halt")
+        yield WaitUntil(lambda: False, "constant false")
+        self.phase_exit("halt")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MNote(origin):
+                self.notes.add(origin)  # wrong set: acks never filled

@@ -1,0 +1,38 @@
+# lint fixture: RL010-clean — the wait reads a per-round ack set
+# through a *local alias* in both directions: the operation publishes
+# the set with `self._round_acks[req] = acks`, the handler fetches it
+# with `.get` and mutates it in place.
+from dataclasses import dataclass
+
+from repro.runtime.protocol import ProtocolNode, WaitUntil
+
+
+@dataclass(frozen=True, slots=True)
+class MVote:
+    origin: int
+    reqid: int
+
+
+class AliasNode(ProtocolNode):
+    def __init__(self, node_id, n, f):
+        super().__init__(node_id, n, f)
+        self._round_acks = {}
+        self._req = 0
+
+    def collect(self):
+        self.phase_enter("collect")
+        self._req += 1
+        acks = set()
+        self._round_acks[self._req] = acks
+        self.broadcast(MVote(self.node_id, self._req))
+        yield WaitUntil(
+            lambda: len(acks) >= self.quorum_size, "vote quorum"
+        )
+        self.phase_exit("collect")
+
+    def on_message(self, src, payload):
+        match payload:
+            case MVote(origin, reqid):
+                acks = self._round_acks.get(reqid)
+                if acks is not None:
+                    acks.add(origin)

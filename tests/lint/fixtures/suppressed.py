@@ -12,7 +12,7 @@ class SuppressedNode(ProtocolNode):
 
     def on_message(self, src, payload):
         self.acks[src] = payload
-        if len(self.acks) >= 3:  # lint: ignore[RL004, RL001]
+        if len(self.acks) >= 3:  # lint: ignore[RL004]
             self.broadcast(random.random())  # lint: ignore
 
     # lint: ignore-next-line[RL005]

@@ -1,0 +1,182 @@
+"""Message-flow graph extraction: send/consume/wait sites, schemas,
+name-payload resolution, the export formats — and a real-tree probe
+that the graph sees the reproduction's actual conversation structure."""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import textwrap
+
+from repro.lint import LintConfig, validate_graph
+from repro.lint.cli import main
+from repro.lint.engine import collect_files, parse_modules
+from repro.lint.flow import (
+    GRAPH_SCHEMA_VERSION,
+    build_flow_graph,
+    format_graph_dot,
+    graph_to_dict,
+)
+from repro.lint.project import ModuleInfo, ProjectIndex
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _index(*sources: str) -> ProjectIndex:
+    modules = [
+        ModuleInfo(
+            path=f"mod{i}.py", tree=ast.parse(textwrap.dedent(src)), source=src
+        )
+        for i, src in enumerate(sources)
+    ]
+    return ProjectIndex(modules)
+
+
+PROTO = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True, slots=True)
+    class MPing:
+        origin: int
+        hops: int = 0
+
+    @dataclass(frozen=True, slots=True)
+    class MPong:
+        origin: int
+
+    class PingNode(ProtocolNode):
+        def ping(self):
+            self.broadcast(MPing(self.node_id))
+            yield WaitUntil(lambda: len(self.pongs) >= self.quorum_size, "q")
+
+        def on_message(self, src, payload):
+            match payload:
+                case MPing(origin):
+                    self.send(src, MPong(self.node_id))
+                case MPong(origin):
+                    self.pongs.add(origin)
+    """
+
+
+def test_send_consume_wait_sites_from_inline_source():
+    index = _index(PROTO)
+    graph = build_flow_graph(index)
+
+    sends = {(s.message, s.via, s.cls, s.method) for s in graph.sends}
+    assert ("MPing", "broadcast", "PingNode", "ping") in sends
+    assert ("MPong", "send", "PingNode", "on_message") in sends
+
+    arms = {(c.message, c.kind) for c in graph.consumes if c.is_arm}
+    assert arms == {("MPing", "match"), ("MPong", "match")}
+    assert graph.handler_classes == {"PingNode"}
+
+    (wait,) = graph.waits
+    assert (wait.cls, wait.method, wait.description) == ("PingNode", "ping", "q")
+
+
+def test_schema_fields_required_and_positional_capture():
+    index = _index(PROTO)
+    graph = build_flow_graph(index)
+    ping = graph.schemas["MPing"]
+    assert ping.fields == ("origin", "hops")
+    assert ping.required == ("origin",)  # hops has a default
+    # the MPing(origin) arm captures field names positionally
+    arm = next(c for c in graph.consumes if c.message == "MPing" and c.is_arm)
+    assert arm.fields_read == ("origin",)
+
+
+def test_graph_is_memoized_on_the_index():
+    index = _index(PROTO)
+    assert build_flow_graph(index) is build_flow_graph(index)
+    assert index.analysis_cache["flow_graph"] is build_flow_graph(index)
+
+
+def test_name_payload_resolves_via_parameter_annotation():
+    # the ByzAso idiom: the payload reaches rbc_broadcast as a *name*
+    # whose type only the enclosing signature knows
+    index = _index(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True, slots=True)
+        class MBlob:
+            data: int
+
+        class RelayNode(ProtocolNode):
+            def _disseminate(self, blob: MBlob):
+                self.rbc.rbc_broadcast(blob)
+
+            def run(self):
+                note = MBlob(1)
+                self.broadcast(note)
+        """
+    )
+    graph = build_flow_graph(index)
+    vias = {(s.message, s.via) for s in graph.sends}
+    # annotation-resolved and assignment-resolved name payloads both count
+    assert vias == {("MBlob", "rbc_broadcast"), ("MBlob", "broadcast")}
+
+
+def test_real_tree_graph_contains_the_eq_aso_conversation():
+    files = collect_files([REPO / "src" / "repro"], LintConfig())
+    modules, errors = parse_modules(files)
+    assert errors == []
+    index = ProjectIndex(modules)
+    graph = build_flow_graph(index)
+    sends = {(s.cls, s.message, s.via) for s in graph.sends}
+    assert ("EqAso", "MValue", "broadcast") in sends
+    # the Name-payload send through the RBC component is seen too
+    assert ("ByzantineAso", "ValueTs", "rbc_broadcast") in sends
+    # every sent message reaches some handler, except the suppressed
+    # ScdSync barrier (a deliberate self-consumed sync marker)
+    assert graph.sent_names - graph.consumed_names == {"ScdSync"}
+
+
+def test_graph_to_dict_passes_its_own_schema():
+    files = collect_files([REPO / "src" / "repro"], LintConfig())
+    modules, _ = parse_modules(files)
+    index = ProjectIndex(modules)
+    payload = graph_to_dict(build_flow_graph(index), index)
+    assert payload["version"] == GRAPH_SCHEMA_VERSION
+    assert validate_graph(payload) == []
+    names = {c["name"] for c in payload["classes"]}
+    assert "EqAso" in names and "ByzantineAso" in names
+    models = {c["name"]: c["fault_model"] for c in payload["classes"]}
+    assert models["ByzantineAso"] == "Byzantine (n > 3f)"
+    assert models["EqAso"] == "crash (n > 2f)"
+
+
+def test_dot_export_labels_classes_with_fault_models():
+    files = collect_files([FIXTURES / "rl009_good.py"], LintConfig())
+    modules, _ = parse_modules(files)
+    index = ProjectIndex(modules)
+    dot = format_graph_dot(build_flow_graph(index), index)
+    assert dot.startswith("digraph message_flow {")
+    assert "SafeByzNode\\\\n[Byzantine (n > 3f)]" in dot
+    assert "SafeCrashNode\\\\n[crash (n > 2f)]" in dot
+    assert '"MSafeReq" [shape=ellipse];' in dot
+
+
+def test_cli_graph_json_smoke(capsys):
+    assert main([str(FIXTURES / "rl007_good.py"), "--graph", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_graph(payload) == []
+    assert {e["kind"] for e in payload["edges"]} == {"send", "consume"}
+
+
+def test_cli_graph_dot_smoke(capsys):
+    assert main([str(FIXTURES / "rl007_good.py"), "--graph", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph message_flow {")
+    assert "PairedNode" in out
+
+
+def test_cli_graph_context_adds_senders(capsys):
+    # the bad RL007 fixture alone has a dead handler (MGhost); a context
+    # file that sends MGhost completes the conversation in the graph
+    assert main([str(FIXTURES / "rl007_bad.py"), "--graph", "json"]) == 0
+    alone = json.loads(capsys.readouterr().out)
+    ghost = next(m for m in alone["messages"] if m["name"] == "MGhost")
+    assert ghost["sent_by"] == []

@@ -1,0 +1,200 @@
+"""ProjectIndex edge cases the simple happy-path tests skip: diamond
+MRO, aliased base imports, attribute inheritance through ``__init__``-less
+middle classes, component wiring, and dataclass schema assembly."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.project import DataclassField, ModuleInfo, ProjectIndex
+
+
+def _index(*sources: str) -> ProjectIndex:
+    modules = [
+        ModuleInfo(
+            path=f"mod{i}.py", tree=ast.parse(textwrap.dedent(src)), source=src
+        )
+        for i, src in enumerate(sources)
+    ]
+    return ProjectIndex(modules)
+
+
+# -- MRO approximation ---------------------------------------------------
+
+
+def test_diamond_mro_visits_each_class_once():
+    index = _index(
+        """
+        class Top(ProtocolNode):
+            def ping(self): pass
+
+        class Left(Top):
+            def helper(self): pass
+
+        class Right(Top):
+            def helper(self): pass
+            def other(self): pass
+
+        class Bottom(Left, Right):
+            pass
+        """
+    )
+    names = [c.name for c in index.mro("Bottom")]
+    assert names == ["Bottom", "Left", "Top", "Right"]  # depth-first, deduped
+    assert len(names) == len(set(names))
+    # lookup resolves to the first base in declaration order
+    helper = index.resolve_method("Bottom", "helper")
+    left_helper = index.classes["Left"].methods["helper"]
+    assert helper is left_helper
+    # methods only on the far side of the diamond still resolve
+    assert index.resolve_method("Bottom", "other") is not None
+    assert index.is_protocol_class("Bottom")
+
+
+def test_aliased_base_import_keeps_subclass_closure():
+    index = _index(
+        "class EqAso(ProtocolNode):\n    pass\n",
+        """
+        from mod0 import EqAso as Base
+
+        class Variant(Base):
+            pass
+        """,
+    )
+    assert index.classes["Variant"].base_names == ("EqAso",)
+    assert index.is_protocol_class("Variant")
+
+
+def test_mro_tolerates_unknown_and_cyclic_bases():
+    index = _index(
+        """
+        class A(SomeExternalThing):
+            pass
+
+        class Loop(Loop2):
+            pass
+
+        class Loop2(Loop):
+            pass
+        """
+    )
+    assert [c.name for c in index.mro("A")] == ["A"]
+    # a (nonsense) base cycle terminates instead of recursing forever
+    assert [c.name for c in index.mro("Loop")] == ["Loop", "Loop2"]
+    assert not index.is_protocol_class("A")
+
+
+# -- attribute facts across the MRO --------------------------------------
+
+
+def test_set_attrs_skip_initless_middle_class():
+    index = _index(
+        """
+        class Grandparent(ProtocolNode):
+            def __init__(self):
+                self.acks = set()
+                self.tags: frozenset[int] = frozenset()
+
+        class Middle(Grandparent):
+            def op(self):
+                pass
+
+        class Leaf(Middle):
+            def __init__(self):
+                super().__init__()
+                self.extra = {1}
+        """
+    )
+    # Middle has no __init__ of its own; the grandparent's assignments
+    # must still be visible from the leaf (and from Middle itself)
+    assert index.set_typed_attrs("Leaf") == {"acks", "tags", "extra"}
+    assert index.set_typed_attrs("Middle") == {"acks", "tags"}
+
+
+def test_class_attr_names_cross_the_whole_mro():
+    index = _index(
+        """
+        class Base:
+            LIMIT = 3
+            def walk(self): pass
+
+        class Child(Base):
+            label: str = "x"
+            def run(self): pass
+        """
+    )
+    names = index.class_attr_names("Child")
+    assert {"LIMIT", "walk", "label", "run"} <= names
+
+
+# -- component objects ----------------------------------------------------
+
+
+def test_component_types_and_callbacks_resolve_through_aliases():
+    index = _index(
+        "class BrachaRBC:\n    def rbc_broadcast(self, m): pass\n",
+        """
+        from mod0 import BrachaRBC as RBC
+
+        class Node(ProtocolNode):
+            def __init__(self):
+                self.rbc = RBC(self, self._on_deliver)
+
+            def _on_deliver(self, origin, payload):
+                pass
+        """,
+    )
+    assert index.component_types("Node") == {"rbc": "BrachaRBC"}
+    assert index.component_callbacks("Node") == {"_on_deliver"}
+
+
+def test_component_callbacks_require_a_resolvable_method():
+    index = _index(
+        """
+        class Helper:
+            pass
+
+        class Node(ProtocolNode):
+            def __init__(self):
+                # self.missing is not a method of Node -> not a callback
+                self.h = Helper(self.missing)
+        """
+    )
+    assert index.component_types("Node") == {"h": "Helper"}
+    assert index.component_callbacks("Node") == frozenset()
+
+
+# -- dataclass schemas ----------------------------------------------------
+
+
+def test_dataclass_fields_base_first_with_defaults_and_classvar():
+    index = _index(
+        """
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        @dataclass(frozen=True, slots=True)
+        class MBase:
+            origin: int
+            KIND: ClassVar[str] = "base"
+
+        @dataclass(frozen=True, slots=True)
+        class MChild(MBase):
+            reqid: int
+            note: str = ""
+        """
+    )
+    fields = index.dataclass_fields("MChild")
+    assert fields == (
+        DataclassField("origin", False),  # base field first, no default
+        DataclassField("reqid", False),
+        DataclassField("note", True),
+    )
+    assert index.is_dataclass_name("MChild")
+    assert not index.is_dataclass_name("NoSuchClass")
+
+
+def test_dataclass_fields_none_for_plain_classes():
+    index = _index("class Plain:\n    x: int = 0\n")
+    assert index.dataclass_fields("Plain") is None

@@ -23,6 +23,10 @@ PAIRS = {
     "RL004": ("rl004_bad.py", "rl004_good.py"),
     "RL005": ("rl005_bad.py", "rl005_good.py"),
     "RL006": ("rl006_bad.py", "rl006_good.py"),
+    "RL007": ("rl007_bad.py", "rl007_good.py"),
+    "RL008": ("rl008_bad.py", "rl008_good.py"),
+    "RL009": ("rl009_bad.py", "rl009_good.py"),
+    "RL010": ("rl010_bad.py", "rl010_good.py"),
 }
 
 
@@ -121,6 +125,57 @@ def test_rl006_exempts_the_view_plane_module():
     # package-relative path core/views.py is the plane's home; it may
     # touch internals freely, including across instances
     assert lint_fixture("repro/core/views.py", select=["RL006"]) == []
+
+
+def test_rl007_names_the_dead_letter_and_dead_handler():
+    findings = lint_fixture("rl007_bad.py", select=["RL007"])
+    messages = "\n".join(f.message for f in findings)
+    assert "dead letter: 'MOrphan'" in messages
+    assert "dead handler: LeakyNode.on_message" in messages
+    assert "'MGhost'" in messages
+    assert "MEcho" not in messages  # the paired message is fine
+
+
+def test_rl008_flags_each_conformance_breach():
+    findings = lint_fixture("rl008_bad.py", select=["RL008"])
+    messages = [f.message for f in findings]
+    assert len(findings) == 4
+    assert any("positional argument(s)" in m for m in messages)
+    assert any("no field(s) ('epoch',)" in m for m in messages)
+    assert any("read of '.epoch'" in m for m in messages)
+    assert any("captures 3 positional field(s)" in m for m in messages)
+
+
+def test_rl009_counterexample_is_concrete_and_in_model():
+    findings = lint_fixture("rl009_bad.py", select=["RL009"])
+    assert len(findings) == 2
+    crash, byz = findings
+    assert "'self.f + 1'" in crash.message
+    assert "crash (n > 2f)" in crash.message
+    assert "Byzantine (n > 3f)" in byz.message
+    # the counterexample really sits inside the declared fault model
+    import re
+
+    for finding, k in ((crash, 2), (byz, 3)):
+        m = re.search(r"n=(\d+), f=(\d+)", finding.message)
+        n, f = int(m.group(1)), int(m.group(2))
+        assert n > k * f
+
+
+def test_rl010_distinguishes_dead_state_from_constant_false():
+    findings = lint_fixture("rl010_bad.py", select=["RL010"])
+    assert len(findings) == 2
+    dead, false = findings
+    assert "self.acks" in dead.message
+    assert "StuckNode" in dead.message
+    assert "constant-false" in false.message
+
+
+def test_rl010_sees_through_local_aliases():
+    # the good fixture's wait reads a closure local published into
+    # self._round_acks; the handler mutates it via a .get() alias —
+    # the satisfiability walk must connect all three
+    assert lint_fixture("rl010_good.py", select=["RL010"]) == []
 
 
 def test_findings_are_sorted_and_carry_locations():

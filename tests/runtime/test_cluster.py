@@ -35,6 +35,9 @@ class PingPong(ProtocolNode):
     # deliberately-stuck op for the StuckError liveness tests
     # lint: ignore-next-line[RL005]
     def never(self):
+        # stuck on purpose: the test asserts the cluster raises
+        # StuckError on exactly this wait
+        # lint: ignore-next-line[RL010]
         yield WaitUntil(lambda: False, "never satisfied")
         return None
 
