@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.bench.runner import CASES, BenchError, format_report, run_bench
 from repro.bench.schema import validate_report
+from repro.parallel import WorkerCrash
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,8 +44,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI-sized workloads, repeats=1 warmup=0 (unless overridden)",
     )
-    parser.add_argument("--repeats", type=int, default=None, metavar="N")
-    parser.add_argument("--warmup", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timed runs per (case, substrate); the minimum wall-clock "
+        "is reported.  Default: 3, or 1 with --smoke; an explicit "
+        "--repeats always wins over the --smoke preset",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="N",
+        help="untimed runs before measuring (default: 1, or 0 with --smoke)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes measuring the (case, substrate) grid "
+        "(default 1 = serial; fingerprints and counters are identical "
+        "for any N, wall-clock is machine-dependent and exempt from "
+        "the --baseline speedup gate)",
+    )
     parser.add_argument(
         "--out",
         default="BENCH_macro.json",
@@ -72,6 +97,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.repeats is not None and args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    if args.warmup is not None and args.warmup < 0:
+        parser.error(f"--warmup must be >= 0, got {args.warmup}")
+    if args.validate is not None and args.workers != 1:
+        parser.error("--workers does not apply to --validate (no run happens)")
+
     if args.validate is not None:
         try:
             report = json.loads(Path(args.validate).read_text())
@@ -89,11 +123,19 @@ def main(argv: list[str] | None = None) -> int:
     warmup = args.warmup if args.warmup is not None else (0 if args.smoke else 1)
     try:
         report = run_bench(
-            args.cases or None, smoke=args.smoke, repeats=repeats, warmup=warmup
+            args.cases or None,
+            smoke=args.smoke,
+            repeats=repeats,
+            warmup=warmup,
+            workers=args.workers,
         )
     except BenchError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
         return 1
+    except WorkerCrash as crash:
+        print(f"bench worker crashed on {crash.label}", file=sys.stderr)
+        print(crash.traceback_text, file=sys.stderr, end="")
+        return 2
     problems = validate_report(report)
     if problems:  # internal consistency check — should be unreachable
         for problem in problems:

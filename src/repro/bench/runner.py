@@ -209,23 +209,21 @@ def _measure(
         "eq_evals": deltas["eq_evals"],
         "eq_rows_scanned": deltas["eq_rows_scanned"],
         "eq_rows_saved": deltas["eq_rows_saved"],
+        "eq_batched_scans": deltas["eq_batched_scans"],
         "values_interned": deltas["values_interned"],
+        "messages_packed": deltas["messages_packed"],
     }
     return record, fingerprints[0]
 
 
-def run_case(
-    case: BenchCase, *, smoke: bool, repeats: int, warmup: int
+def _case_record(
+    case: BenchCase,
+    fast: dict[str, Any],
+    fast_fp: str,
+    slow: dict[str, Any],
+    slow_fp: str,
 ) -> dict[str, Any]:
-    """Benchmark one case on both substrates and cross-check metrics."""
-    workload = case.smoke if smoke else case.full
-    previous = set_fast_path(True)
-    try:
-        fast, fast_fp = _measure(workload, repeats=repeats, warmup=warmup)
-        set_fast_path(False)
-        slow, slow_fp = _measure(workload, repeats=repeats, warmup=warmup)
-    finally:
-        set_fast_path(previous)
+    """Cross-check the substrate fingerprints and build the case entry."""
     telemetry().counter("bench.cases").inc()
     if fast_fp != slow_fp:
         telemetry().counter("bench.fingerprint_mismatches").inc()
@@ -246,31 +244,106 @@ def run_case(
     }
 
 
+def run_case(
+    case: BenchCase, *, smoke: bool, repeats: int, warmup: int
+) -> dict[str, Any]:
+    """Benchmark one case on both substrates and cross-check metrics."""
+    workload = case.smoke if smoke else case.full
+    previous = set_fast_path(True)
+    try:
+        fast, fast_fp = _measure(workload, repeats=repeats, warmup=warmup)
+        set_fast_path(False)
+        slow, slow_fp = _measure(workload, repeats=repeats, warmup=warmup)
+    finally:
+        set_fast_path(previous)
+    return _case_record(case, fast, fast_fp, slow, slow_fp)
+
+
+@dataclass(frozen=True, slots=True)
+class _CaseTask:
+    """Picklable description of one (case, substrate) measurement —
+    the parallel sweep unit of ``run_bench(workers > 1)``."""
+
+    name: str
+    substrate: str  # "fast" | "slow"
+    smoke: bool
+    repeats: int
+    warmup: int
+
+
+def _measure_task(task: _CaseTask) -> tuple[dict[str, Any], str]:
+    """Worker-side: measure one case on one substrate.
+
+    Each measurement is deterministic given (case, substrate, mode), so
+    fanning the (case, substrate) grid out to processes reproduces the
+    serial path's fingerprints and counters exactly; only wall-clock
+    (machine-dependent by definition) differs.
+    """
+    case = CASES[task.name]
+    workload = case.smoke if task.smoke else case.full
+    previous = set_fast_path(task.substrate == "fast")
+    try:
+        return _measure(workload, repeats=task.repeats, warmup=task.warmup)
+    finally:
+        set_fast_path(previous)
+
+
 def run_bench(
     case_names: list[str] | None = None,
     *,
     smoke: bool = False,
     repeats: int = 3,
     warmup: int = 1,
+    workers: int = 1,
 ) -> dict[str, Any]:
-    """Run the selected cases (default: all) and build the report."""
+    """Run the selected cases (default: all) and build the report.
+
+    ``workers > 1`` measures the (case, substrate) grid on a process
+    pool; fingerprints, counters and the substrate-invariance check are
+    identical to the serial path (wall-clock numbers are whatever the
+    contended machine produces — the perf gate exempts them, see
+    :mod:`repro.bench.compare`).  The report carries a ``workers`` key
+    only in that mode, so serial reports are unchanged.
+    """
     names = case_names or list(CASES)
     unknown = [n for n in names if n not in CASES]
     if unknown:
         raise BenchError(f"unknown case(s) {unknown}; choose from {sorted(CASES)}")
     if repeats < 1 or warmup < 0:
         raise BenchError(f"bad repeats={repeats}/warmup={warmup}")
-    return {
+    if workers < 1:
+        raise BenchError(f"bad workers={workers}; need >= 1")
+    report: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "repro.bench",
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,
         "warmup": warmup,
-        "cases": [
+    }
+    if workers <= 1:
+        report["cases"] = [
             run_case(CASES[name], smoke=smoke, repeats=repeats, warmup=warmup)
             for name in names
-        ],
-    }
+        ]
+        return report
+    from repro.parallel import run_tasks
+
+    tasks = [
+        _CaseTask(
+            name=name, substrate=substrate, smoke=smoke,
+            repeats=repeats, warmup=warmup,
+        )
+        for name in names
+        for substrate in ("fast", "slow")
+    ]
+    labels = [f"case {t.name} substrate {t.substrate}" for t in tasks]
+    measured = run_tasks(_measure_task, tasks, workers=workers, labels=labels)
+    report["workers"] = workers
+    report["cases"] = [
+        _case_record(CASES[name], *measured[2 * i], *measured[2 * i + 1])
+        for i, name in enumerate(names)
+    ]
+    return report
 
 
 def format_report(report: dict[str, Any]) -> str:

@@ -30,7 +30,9 @@ _OPTIONAL_MEASUREMENT_FIELDS: dict[str, type | tuple[type, ...]] = {
     "eq_evals": int,
     "eq_rows_scanned": int,
     "eq_rows_saved": int,
+    "eq_batched_scans": int,
     "values_interned": int,
+    "messages_packed": int,
 }
 
 _CASE_FIELDS: dict[str, type | tuple[type, ...]] = {
@@ -51,6 +53,11 @@ _TOP_FIELDS: dict[str, type | tuple[type, ...]] = {
     "repeats": int,
     "warmup": int,
     "cases": list,
+}
+
+#: optional top-level keys (type-checked only when present)
+_OPTIONAL_TOP_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "workers": int,
 }
 
 
@@ -88,6 +95,13 @@ def validate_report(report: Any) -> list[str]:
     problems = check_fields(report, _TOP_FIELDS, "report")
     if problems:
         return problems
+    problems.extend(
+        check_fields(
+            report,
+            {k: t for k, t in _OPTIONAL_TOP_FIELDS.items() if k in report},
+            "report",
+        )
+    )
     if report["schema_version"] != SCHEMA_VERSION:
         problems.append(
             f"report.schema_version: expected {SCHEMA_VERSION}, "

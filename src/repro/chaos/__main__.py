@@ -15,7 +15,13 @@ Examples::
     python -m repro.chaos --plan /tmp/chaos/delporte-seed123/plan.json
 
 Exit status: 0 = all executions clean, 1 = at least one failure found
-(or the replayed plan still fails), 2 = usage error.
+(or the replayed plan still fails), 2 = usage error or a crashed
+worker (``--workers``; the failing algo/index/seed is printed).
+
+``--workers N`` fans the sweep out over N processes.  Reports and
+counterexample bundles are byte-identical to a serial run for any N —
+per-index seed derivation makes every campaign entry order-independent
+(see :mod:`repro.parallel.executor`).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.chaos.algos import CAMPAIGN_ALGOS, all_profiles
 from repro.chaos.campaign import run_campaign
 from repro.chaos.plan import ChaosPlan
 from repro.chaos.runner import run_plan
+from repro.parallel import WorkerCrash
 
 SMOKE_SEEDS = 4
 
@@ -135,7 +142,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="replay one exported plan.json instead of sweeping",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep (default 1 = serial; any "
+            "value yields the byte-identical report and bundles)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.plan is not None and args.workers != 1:
+        parser.error("--workers does not apply to --plan (a single replay)")
 
     if args.plan is not None:
         try:
@@ -152,15 +172,27 @@ def main(argv: list[str] | None = None) -> int:
         algos = sorted(CAMPAIGN_ALGOS)
         seed_range = (0, SMOKE_SEEDS)
 
-    report = run_campaign(
-        algos,
-        seed_range=seed_range,
-        master_seed=args.master_seed,
-        budget=args.budget,
-        out=args.out,
-        smoke=args.smoke,
-        max_ops_per_node=args.max_ops,
-    )
+    try:
+        report = run_campaign(
+            algos,
+            seed_range=seed_range,
+            master_seed=args.master_seed,
+            budget=args.budget,
+            out=args.out,
+            smoke=args.smoke,
+            max_ops_per_node=args.max_ops,
+            workers=args.workers,
+        )
+    except WorkerCrash as crash:
+        print(f"worker crashed on {crash.label}", file=sys.stderr)
+        print(crash.traceback_text, file=sys.stderr, end="")
+        print(
+            "re-run just that entry serially with: python -m repro.chaos "
+            f"--master-seed {args.master_seed} --algo <algo> "
+            "--seeds <index>:<index+1> (values above)",
+            file=sys.stderr,
+        )
+        return 2
     for line in report.summary_lines():
         print(line)
     print(

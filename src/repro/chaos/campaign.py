@@ -14,6 +14,15 @@ On a failure the campaign delta-debugs the plan
 (:mod:`repro.chaos.shrink`), re-checks the shrunk plan, and exports the
 counterexample bundle (:mod:`repro.chaos.export`).  The campaign report
 is validated against :mod:`repro.chaos.schema` before it is written.
+
+**Parallel sweeps.**  ``workers > 1`` fans the per-index entries out to
+a :func:`repro.parallel.run_tasks` process pool.  One entry — plan
+generation, execution, checking, shrinking and counterexample export —
+is one task: its seed derives from ``(master_seed, "chaos", algo,
+index)`` alone, so entries are order-independent and the merged report
+(and every exported bundle) is byte-identical to a serial run.  Shrink
+and export run inside the worker; only the plain
+:class:`FailureRecord` data rides back over the pipe.
 """
 
 from __future__ import annotations
@@ -151,6 +160,78 @@ def campaign_seed(master_seed: int, algo: str, index: int) -> int:
     return derive_seed(master_seed, "chaos", algo, index)
 
 
+@dataclass(frozen=True, slots=True)
+class _EntryTask:
+    """Picklable description of one campaign entry (one sweep unit)."""
+
+    algo: str
+    index: int
+    master_seed: int
+    budget: int
+    out: str | None
+    max_ops_per_node: int
+
+
+@dataclass(frozen=True, slots=True)
+class _EntryResult:
+    """Picklable outcome of one campaign entry."""
+
+    seed: int
+    executions: int
+    checked: bool
+    validated: bool
+    failure: FailureRecord | None
+
+
+def _run_entry(task: _EntryTask) -> _EntryResult:
+    """Run one campaign entry end to end (worker-side).
+
+    The entry's whole lifecycle — generate, execute, check, shrink,
+    export — happens here, so a parallel sweep ships only this plain
+    record back to the parent.
+    """
+    tele = telemetry()
+    profile = get_profile(task.algo)
+    seed = campaign_seed(task.master_seed, task.algo, task.index)
+    plan = generate_plan(profile, seed, max_ops_per_node=task.max_ops_per_node)
+    result = run_plan(plan)
+    executions = 1
+    tele.counter("chaos.executions").inc()
+    checked = result.history is not None
+    validated = result.cross_validated
+    if validated:
+        tele.counter("chaos.cross_validated").inc()
+    if result.failure is None:
+        return _EntryResult(seed, executions, checked, validated, None)
+    tele.counter("chaos.failures").inc()
+    shrunk = shrink_plan(plan, result, max_executions=task.budget)
+    executions += shrunk.executions
+    tele.counter("chaos.shrink_executions").inc(shrunk.executions)
+    final_failure = shrunk.result.failure
+    assert final_failure is not None  # shrink preserves failure
+    record = FailureRecord(
+        algo=task.algo,
+        campaign_index=task.index,
+        seed=seed,
+        kind=final_failure.kind,
+        detail=final_failure.detail,
+        original_size=plan.size(),
+        shrunk_size=shrunk.plan.size(),
+        shrink_executions=shrunk.executions,
+        shrink_moves=shrunk.moves,
+        shrunk_plan_dict=shrunk.plan.to_dict(),
+    )
+    if task.out is not None:
+        record.export_paths = export_counterexample(
+            shrunk.plan,
+            final_failure,
+            Path(task.out),
+            campaign_index=task.index,
+            master_seed=task.master_seed,
+        )
+    return _EntryResult(seed, executions, checked, validated, record)
+
+
 def run_campaign(
     algos: Sequence[str],
     *,
@@ -160,6 +241,7 @@ def run_campaign(
     out: Path | None = None,
     smoke: bool = False,
     max_ops_per_node: int = 3,
+    workers: int = 1,
 ) -> CampaignReport:
     """Run a chaos campaign.
 
@@ -171,68 +253,53 @@ def run_campaign(
         out: counterexample/report directory (None = no export).
         smoke: recorded in the report (CLI preset semantics).
         max_ops_per_node: workload size knob passed to the generator.
+        workers: process count for the sweep; 1 (the default) runs
+            serially in-process.  Any value produces the byte-identical
+            report — see the module docstring.
+
+    Raises:
+        repro.parallel.WorkerCrash: a parallel worker's entry raised;
+            the crash names the failing ``algo``/``index``/``seed``.
     """
-    tele = telemetry()
-    entries: list[AlgoCampaign] = []
+    lo, hi = seed_range
+    tasks: list[_EntryTask] = []
+    labels: list[str] = []
     for algo in algos:
-        profile = get_profile(algo)
-        seeds: list[int] = []
-        failures: list[FailureRecord] = []
-        executions = 0
-        checked = 0
-        validated = 0
-        lo, hi = seed_range
+        get_profile(algo)  # unknown algos fail fast, in the parent
         for index in range(lo, hi):
-            seed = campaign_seed(master_seed, algo, index)
-            seeds.append(seed)
-            plan = generate_plan(
-                profile, seed, max_ops_per_node=max_ops_per_node
-            )
-            result = run_plan(plan)
-            executions += 1
-            tele.counter("chaos.executions").inc()
-            if result.history is not None:
-                checked += 1
-            if result.cross_validated:
-                validated += 1
-                tele.counter("chaos.cross_validated").inc()
-            if result.failure is None:
-                continue
-            tele.counter("chaos.failures").inc()
-            shrunk = shrink_plan(plan, result, max_executions=budget)
-            executions += shrunk.executions
-            tele.counter("chaos.shrink_executions").inc(shrunk.executions)
-            final_failure = shrunk.result.failure
-            assert final_failure is not None  # shrink preserves failure
-            record = FailureRecord(
-                algo=algo,
-                campaign_index=index,
-                seed=seed,
-                kind=final_failure.kind,
-                detail=final_failure.detail,
-                original_size=plan.size(),
-                shrunk_size=shrunk.plan.size(),
-                shrink_executions=shrunk.executions,
-                shrink_moves=shrunk.moves,
-                shrunk_plan_dict=shrunk.plan.to_dict(),
-            )
-            if out is not None:
-                record.export_paths = export_counterexample(
-                    shrunk.plan,
-                    final_failure,
-                    out,
-                    campaign_index=index,
+            tasks.append(
+                _EntryTask(
+                    algo=algo,
+                    index=index,
                     master_seed=master_seed,
+                    budget=budget,
+                    out=None if out is None else str(out),
+                    max_ops_per_node=max_ops_per_node,
                 )
-            failures.append(record)
+            )
+            labels.append(
+                f"algo {algo} index {index} "
+                f"seed {campaign_seed(master_seed, algo, index)}"
+            )
+    if workers <= 1:
+        outcomes = [_run_entry(task) for task in tasks]
+    else:
+        from repro.parallel import run_tasks
+
+        outcomes = run_tasks(_run_entry, tasks, workers=workers, labels=labels)
+
+    entries: list[AlgoCampaign] = []
+    per_algo = hi - lo
+    for pos, algo in enumerate(algos):
+        chunk = outcomes[pos * per_algo:(pos + 1) * per_algo]
         entries.append(
             AlgoCampaign(
                 algo=algo,
-                seeds=seeds,
-                executions=executions,
-                histories_checked=checked,
-                cross_validated=validated,
-                failures=failures,
+                seeds=[r.seed for r in chunk],
+                executions=sum(r.executions for r in chunk),
+                histories_checked=sum(r.checked for r in chunk),
+                cross_validated=sum(r.validated for r in chunk),
+                failures=[r.failure for r in chunk if r.failure is not None],
             )
         )
     report = CampaignReport(master_seed=master_seed, smoke=smoke, algos=entries)

@@ -8,23 +8,91 @@ that solicited them: the paper's "wait until receiving ≥ n−f acks" means
 acks *for this request*; counting a stale ack from an earlier round could
 return an outdated tag and break the ``op_i → op_j ⟹ T_i ≤ T_j``
 invariant that Lemma 3 rests on.
+
+**Interned fast-path construction.**  These are the hottest allocations
+in the whole simulation (every UPDATE broadcasts a value and runs a
+writeTag/writeAck/echoTag round; every SCAN a readTag/readAck round),
+and snapshot protocols construct the *same few payloads* over and over:
+the identical ack is built once per received request, the same echoTag
+re-broadcast by every node in a round.  Under
+:func:`repro.sim.fastpath.fast_path_enabled` (the default) the
+metaclass therefore interns instances: constructing a message with
+field values seen before returns the existing frozen object instead of
+allocating (a bounded table of :data:`PACKED_INTERN_MAX` entries,
+cleared outright — deterministically — when full; intern hits are
+counted in the ``messages_packed`` substrate stat).  Every field of
+every message is hashable and immutable, which is what makes interning
+sound, and nothing in the tree observes object identity, which is what
+keeps the fast and slow paths byte-identical.
+
+The runtime *layout* is deliberately the same dataclass on both paths:
+``type(payload)`` is always the public class, so ``match`` arms and
+``isinstance`` checks in handlers dispatch through CPython's exact-type
+fast path with no Python-level ``__instancecheck__`` in the way — on a
+message-bound run, failed ``match`` arms outnumber constructions by
+more than an order of magnitude, so keeping dispatch at C speed is
+worth far more than a leaner per-instance layout.  Under
+``repro.sim.slow_path()`` construction is the plain dataclass call
+(fresh instance every time), kept as the behavioural oracle that
+``python -m repro.bench`` diffs against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
+
 from repro.core.tags import ValueTs
+from repro.sim import fastpath
+from repro.sim.fastpath import STATS
+
+#: Bound on the message intern table.  The working set of distinct live
+#: messages is tiny (tags and reqids advance, old entries stop being
+#: constructed), so the table is cleared outright when full —
+#: deterministic, and re-interning is just one dict store.
+PACKED_INTERN_MAX = 4096
+
+_intern: dict[tuple[type, tuple[Any, ...]], Any] = {}
+
+
+class _MsgMeta(type):
+    """Construction-time interning behind the fast/slow switch.
+
+    ``cls(*args)`` on the fast path returns the interned instance for
+    those field values, constructing one only on a miss; keyword
+    construction and the slow path fall through to the plain dataclass
+    call.  The metaclass adds no ``__instancecheck__``: instances are
+    always the public dataclass, so dispatch stays exact-type.
+    """
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> Any:
+        # the switch is read as a module attribute, not through
+        # fast_path_enabled(): construction is hot and set_fast_path
+        # rebinds the flag, so a call-time read stays correct while
+        # skipping a Python frame per message
+        if kwargs or not fastpath._fast_enabled:
+            return super().__call__(*args, **kwargs)
+        key = (cls, args)
+        hit = _intern.get(key)
+        if hit is not None:
+            STATS.messages_packed += 1
+            return hit
+        inst = super().__call__(*args)
+        if len(_intern) >= PACKED_INTERN_MAX:
+            _intern.clear()
+        _intern[key] = inst
+        return inst
 
 
 @dataclass(frozen=True, slots=True)
-class MValue:
+class MValue(metaclass=_MsgMeta):
     """("value", ⟨v, ts⟩) — a written or forwarded value (lines 6, 42)."""
 
     vt: ValueTs
 
 
 @dataclass(frozen=True, slots=True)
-class MValueAck:
+class MValueAck(metaclass=_MsgMeta):
     """One-shot protocol only: acknowledgement of a value (Sec. III-C:
     an UPDATE "waits for a quorum of acknowledgements")."""
 
@@ -32,7 +100,7 @@ class MValueAck:
 
 
 @dataclass(frozen=True, slots=True)
-class MWriteTag:
+class MWriteTag(metaclass=_MsgMeta):
     """("writeTag", tag) — line 38; ``reqid`` scopes the acks."""
 
     tag: int
@@ -40,7 +108,7 @@ class MWriteTag:
 
 
 @dataclass(frozen=True, slots=True)
-class MWriteAck:
+class MWriteAck(metaclass=_MsgMeta):
     """("writeAck", tag) — line 46 response."""
 
     tag: int
@@ -48,21 +116,21 @@ class MWriteAck:
 
 
 @dataclass(frozen=True, slots=True)
-class MEchoTag:
+class MEchoTag(metaclass=_MsgMeta):
     """("echoTag", tag) — line 45; disseminates a first-seen tag."""
 
     tag: int
 
 
 @dataclass(frozen=True, slots=True)
-class MReadTag:
+class MReadTag(metaclass=_MsgMeta):
     """("readTag") — line 35; ``reqid`` scopes the acks."""
 
     reqid: int
 
 
 @dataclass(frozen=True, slots=True)
-class MReadAck:
+class MReadAck(metaclass=_MsgMeta):
     """("readAck", maxTag) — line 48 response."""
 
     tag: int
@@ -70,7 +138,7 @@ class MReadAck:
 
 
 @dataclass(frozen=True, slots=True)
-class MGoodLA:
+class MGoodLA(metaclass=_MsgMeta):
     """("goodLA", r) — line 18: the sender completed a good lattice
     operation with tag ``r``; receivers may borrow its view (line 49)."""
 
@@ -78,6 +146,7 @@ class MGoodLA:
 
 
 __all__ = [
+    "PACKED_INTERN_MAX",
     "MValue",
     "MValueAck",
     "MWriteTag",

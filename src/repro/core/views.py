@@ -23,6 +23,14 @@ fast/slow simulation substrate of :mod:`repro.sim.fastpath`:
   poll and maintains a bitmask of rows matching row ``i`` — a delivery
   that touched no row re-checks nothing, and a typical delivery
   re-checks exactly one row instead of rebuilding ``n`` frozensets.
+  Incremental match state is kept for up to :data:`MAX_EQ_STATES`
+  distinct ``(i, r)`` predicates simultaneously, and one pass over the
+  dirty rows refreshes *every* pending predicate's match mask (the
+  batched-EQ evaluation): a lattice operation returning to a tag it
+  polled before — phase-0 at ``r`` followed by a renewal, or the
+  three-attempt renewal loop — answers from its kept mask instead of
+  re-scanning all ``n`` rows.  ``STATS.eq_batched_scans`` counts the
+  piggybacked refreshes.
 - :class:`ReferenceViewVector`: the original frozenset-per-row
   implementation, kept as the behavioural oracle.
 
@@ -41,6 +49,25 @@ from typing import Hashable
 from repro.core.tags import ValueTs, tag_of
 from repro.sim.fastpath import STATS, fast_path_enabled
 
+#: Upper bound on concurrently-tracked incremental EQ states per vector.
+#: A node polls EQ for its own row at the current read tag plus the
+#: handful of renewal tags a lattice operation revisits, so a small
+#: bound captures every live predicate; eviction is least-recently-
+#: queried (re-querying an evicted state just pays one full rescan).
+MAX_EQ_STATES = 8
+
+#: A state not re-queried within this many evaluations is dropped at the
+#: next dirty flush instead of refreshed: batched upkeep is a bet that
+#: the predicate will be polled again soon, and a stale state would
+#: otherwise tax every flush until `prune_below` retires its tag.
+MAX_EQ_IDLE = 64
+
+#: Bound on the interner's mask -> frozenset memo (:meth:`ValueInterner.
+#: unpack`).  Unpacking is a pure function of the mask (ids are assigned
+#: append-only and never reused), so entries never go stale; the table
+#: is cleared outright when full, like the message intern table.
+UNPACK_CACHE_MAX = 2048
+
 
 class ValueInterner:
     """Per-vector table assigning each distinct value a dense integer id.
@@ -53,13 +80,14 @@ class ValueInterner:
     mask is never stale.
     """
 
-    __slots__ = ("_ids", "_values", "_tag_masks", "_cum_masks")
+    __slots__ = ("_ids", "_values", "_tag_masks", "_cum_masks", "_unpack_cache")
 
     def __init__(self) -> None:
         self._ids: dict[Hashable, int] = {}
         self._values: list[Hashable] = []
         self._tag_masks: dict[int, int] = {}
         self._cum_masks: dict[int, int] = {}
+        self._unpack_cache: dict[int, frozenset] = {}
 
     def __len__(self) -> int:
         return len(self._values)
@@ -96,14 +124,32 @@ class ValueInterner:
         return mask
 
     def unpack(self, mask: int) -> frozenset:
-        """The set of values whose bits are set in ``mask``."""
+        """The set of values whose bits are set in ``mask`` (memoized).
+
+        The same masks recur constantly — a waiting operation re-polls
+        its predicate after every delivery and gets the same equivalence
+        set back until a row changes — and building the frozenset hashes
+        every member value, which profiles as the single hottest step of
+        an EQ-bound run.  Since ids are append-only the result is a pure
+        function of the mask, so a bounded memo answers repeats with one
+        int-keyed dict hit and zero value hashing.
+        """
+        cache = self._unpack_cache
+        hit = cache.get(mask)
+        if hit is not None:
+            return hit
         values = self._values
         out = []
-        while mask:
-            low = mask & -mask
+        m = mask
+        while m:
+            low = m & -m
             out.append(values[low.bit_length() - 1])
-            mask ^= low
-        return frozenset(out)
+            m ^= low
+        result = frozenset(out)
+        if len(cache) >= UNPACK_CACHE_MAX:
+            cache.clear()
+        cache[mask] = result
+        return result
 
     def prune_masks_below(self, r: int) -> None:
         """Drop memoized cumulative masks for restrictions below ``r``
@@ -117,6 +163,7 @@ class ValueInterner:
             "interned": len(self._values),
             "tag_masks": len(self._tag_masks),
             "cum_masks": len(self._cum_masks),
+            "unpack_cache": len(self._unpack_cache),
         }
 
 
@@ -235,9 +282,8 @@ class BitsetViewVector(ViewVector):
         "_rows",
         "_dirty",
         "_filter_cache",
-        "_eq_key",
-        "_eq_target",
-        "_eq_matches",
+        "_eq_states",
+        "_eq_tick",
         "_union_mask",
         "_max_seen_tag",
     )
@@ -250,10 +296,13 @@ class BitsetViewVector(ViewVector):
         self._dirty = 0
         #: (j, r) -> (masked row bits, materialized frozenset)
         self._filter_cache: dict[tuple[int, int], tuple[int, frozenset[ValueTs]]] = {}
-        #: incremental EQ state for the most recent (i, r) evaluated
-        self._eq_key: tuple[int, int | None] | None = None
-        self._eq_target = 0
-        self._eq_matches = 0
+        #: (i, r) -> mutable [target bits, match bitmask, last-queried
+        #: tick]; insertion order is least-recently-queried (each hit
+        #: reinserts its key), bounded at MAX_EQ_STATES by evicting the
+        #: front, with idle states expired after MAX_EQ_IDLE evals
+        self._eq_states: dict[tuple[int, int | None], list[int]] = {}
+        #: eq_predicate call counter (the idle-expiry clock)
+        self._eq_tick = 0
         self._union_mask = 0
         self._max_seen_tag = 0
 
@@ -316,12 +365,75 @@ class BitsetViewVector(ViewVector):
         STATS.eq_evals += 1
         rows = self._rows
         n = self.n
-        mask = -1 if r is None else self._interner.mask_at_most(r)
+        interner = self._interner
         key = (i, r)
+        states = self._eq_states
+        state = states.get(key)
         dirty = self._dirty
-        if key != self._eq_key or (dirty >> i) & 1:
-            # different predicate, or the target row itself changed:
-            # recompute the full match mask (n integer compares).
+        tick = self._eq_tick = self._eq_tick + 1
+        if dirty:
+            # one pass over the dirty rows refreshes EVERY pending
+            # predicate's match mask (the batched-EQ evaluation), so a
+            # predicate re-queried later answers incrementally instead
+            # of paying a full rescan for rows that changed "while it
+            # was away".  A new value interned since a state's last
+            # refresh can widen its mask, but an unchanged row cannot
+            # contain the new bit (setting a row bit marks the row
+            # dirty), so clean rows keep their masked value — and their
+            # match status — as-is; the mask is re-derived fresh per
+            # state for exactly this reason.  eq_rows_scanned/saved keep
+            # their PR-4 meaning (row work for the *queried* predicate);
+            # piggybacked refreshes are accounted in eq_batched_scans.
+            expired = None
+            for k, st in states.items():
+                if k != key and tick - st[2] > MAX_EQ_IDLE:
+                    if expired is None:
+                        expired = [k]
+                    else:
+                        expired.append(k)
+                    continue
+                k_mask = -1 if k[1] is None else interner.mask_at_most(k[1])
+                if (dirty >> k[0]) & 1:
+                    # the state's own target row changed: recompute the
+                    # full match mask (n integer compares).
+                    k_target = rows[k[0]] & k_mask
+                    k_matches = 0
+                    bit = 1
+                    for j in range(n):
+                        if rows[j] & k_mask == k_target:
+                            k_matches |= bit
+                        bit <<= 1
+                    st[0] = k_target
+                    st[1] = k_matches
+                    if k == key:
+                        STATS.eq_rows_scanned += n
+                else:
+                    k_target = st[0]
+                    k_matches = st[1]
+                    scanned = 0
+                    d = dirty
+                    while d:
+                        low = d & -d
+                        if rows[low.bit_length() - 1] & k_mask == k_target:
+                            k_matches |= low
+                        else:
+                            k_matches &= ~low
+                        d ^= low
+                        scanned += 1
+                    st[1] = k_matches
+                    if k == key:
+                        STATS.eq_rows_scanned += scanned
+                        STATS.eq_rows_saved += n - scanned
+                if k != key:
+                    STATS.eq_batched_scans += 1
+            if expired is not None:
+                for k in expired:
+                    del states[k]
+            self._dirty = 0
+        if state is None:
+            # first evaluation of this (i, r) (or it was evicted):
+            # full scan, then register it for incremental upkeep.
+            mask = -1 if r is None else interner.mask_at_most(r)
             target = rows[i] & mask
             matches = 0
             bit = 1
@@ -330,38 +442,28 @@ class BitsetViewVector(ViewVector):
                     matches |= bit
                 bit <<= 1
             STATS.eq_rows_scanned += n
-            self._eq_key = key
-            self._eq_target = target
+            if len(states) >= MAX_EQ_STATES:
+                del states[next(iter(states))]
+            state = [target, matches, tick]
         else:
-            # steady state: only rows dirtied since the last poll can
-            # change their match status.  A new value interned since then
-            # can widen `mask`, but an unchanged row cannot contain its
-            # bit (setting a row bit marks the row dirty), so clean rows
-            # keep their masked value — and their match status — as-is.
-            target = self._eq_target
-            matches = self._eq_matches
-            scanned = 0
-            d = dirty
-            while d:
-                low = d & -d
-                if rows[low.bit_length() - 1] & mask == target:
-                    matches |= low
-                else:
-                    matches &= ~low
-                d ^= low
-                scanned += 1
-            STATS.eq_rows_scanned += scanned
-            STATS.eq_rows_saved += n - scanned
-        self._eq_matches = matches
-        self._dirty = 0
+            if not dirty:
+                STATS.eq_rows_saved += n
+            target, matches = state[0], state[1]
+            state[2] = tick
+            del states[key]  # reinsert below: move to most-recent
+        states[key] = state
         if matches.bit_count() >= n - f:
             quorum = tuple(j for j in range(n) if (matches >> j) & 1)
-            return quorum, self._interner.unpack(target)
+            return quorum, interner.unpack(target)
         return None
 
     def prune_below(self, r: int) -> None:
         for key in [k for k in self._filter_cache if k[1] < r]:
             del self._filter_cache[key]
+        for eq_key in [
+            k for k in self._eq_states if k[1] is not None and k[1] < r
+        ]:
+            del self._eq_states[eq_key]
         self._interner.prune_masks_below(r)
 
     def cache_stats(self) -> dict[str, int | str]:
@@ -369,9 +471,11 @@ class BitsetViewVector(ViewVector):
         return {
             "plane": "bitset",
             "filter_cache": len(self._filter_cache),
+            "eq_states": len(self._eq_states),
             "interned": stats["interned"],
             "tag_masks": stats["tag_masks"],
             "cum_masks": stats["cum_masks"],
+            "unpack_cache": stats["unpack_cache"],
         }
 
 
@@ -460,6 +564,7 @@ class ReferenceViewVector(ViewVector):
         return {
             "plane": "reference",
             "filter_cache": len(self._filter_cache),
+            "eq_states": 0,
             "interned": 0,
             "tag_masks": 0,
             "cum_masks": 0,
@@ -478,6 +583,9 @@ def eq_predicate(
 
 
 __all__ = [
+    "MAX_EQ_IDLE",
+    "MAX_EQ_STATES",
+    "UNPACK_CACHE_MAX",
     "BitsetViewVector",
     "ReferenceViewVector",
     "ValueInterner",

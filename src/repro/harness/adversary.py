@@ -171,7 +171,9 @@ def _doomed_payload_predicate(
 
     # exact-type dispatch: the payload classes are final, and a dict
     # lookup beats a five-way isinstance chain on the per-message path
-    # (this predicate runs once per (message, destination))
+    # (this predicate runs once per (message, destination)).  MValue has
+    # a packed fast-path layout with its own concrete type; register it
+    # under the same check so the delay schedule is layout-independent.
     checks: dict[type, Callable[[Any], bool]] = {
         MValue: lambda p: p.vt.writer in writers,
         MWrite: lambda p: p.writer in writers,
@@ -180,7 +182,6 @@ def _doomed_payload_predicate(
         and p.payload.writer in writers,
         MGossip: lambda p: p.atom[0] in writers,
     }
-
     def doomed(payload: Any) -> bool:
         check = checks.get(type(payload))
         return check(payload) if check is not None else False

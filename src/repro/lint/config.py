@@ -25,6 +25,12 @@ DEFAULT_NONDETERMINISTIC_MODULES: frozenset[str] = frozenset(
     {"random", "time", "datetime", "uuid", "secrets"}
 )
 
+#: Modules that spawn OS processes (RL001).  Worker fan-out must go
+#: through :mod:`repro.parallel`, the one package whose determinism
+#: contract (per-task seed derivation, ordered merge) is tested — a
+#: stray pool anywhere else reintroduces scheduling nondeterminism.
+DEFAULT_PROCESS_MODULES: frozenset[str] = frozenset({"multiprocessing"})
+
 #: Modules that perform I/O, scheduling or threading — banned in sans-io
 #: protocol code (RL002).
 DEFAULT_IO_MODULES: frozenset[str] = frozenset(
@@ -56,9 +62,8 @@ DEFAULT_VIEW_PLANE_ATTRS: frozenset[str] = frozenset(
         "_interner",
         "_filter_cache",
         "_dirty",
-        "_eq_key",
-        "_eq_target",
-        "_eq_matches",
+        "_eq_states",
+        "_unpack_cache",
         "_union_mask",
         "_union_values",
         "_max_seen_tag",
@@ -107,7 +112,11 @@ class LintConfig:
     messages_pattern: str = "messages"
     #: package-relative module paths allowed to touch view internals
     view_plane_modules: tuple[str, ...] = ("core/views.py",)
+    #: package-relative prefixes allowed to import process-spawning
+    #: modules (the deterministic executor lives here)
+    parallel_modules: tuple[str, ...] = ("parallel/",)
     nondeterministic_modules: frozenset[str] = DEFAULT_NONDETERMINISTIC_MODULES
+    process_modules: frozenset[str] = DEFAULT_PROCESS_MODULES
     io_modules: frozenset[str] = DEFAULT_IO_MODULES
     view_plane_private_attrs: frozenset[str] = DEFAULT_VIEW_PLANE_ATTRS
 
@@ -145,6 +154,12 @@ class LintConfig:
     def is_view_plane_module(self, path: str) -> bool:
         rel = self.package_relpath(path)
         return rel is not None and rel in self.view_plane_modules
+
+    def is_parallel_module(self, path: str) -> bool:
+        rel = self.package_relpath(path)
+        if rel is None:
+            return False
+        return any(rel.startswith(p) for p in self.parallel_modules)
 
     def is_excluded(self, path: str) -> bool:
         posix = _posix(path)
@@ -203,6 +218,10 @@ class LintConfig:
             kwargs["view_plane_modules"] = tuple(
                 map(str, table["view-plane-modules"])
             )
+        if "parallel-modules" in table:
+            kwargs["parallel_modules"] = tuple(
+                map(str, table["parallel-modules"])
+            )
         return cls(**kwargs)
 
 
@@ -210,6 +229,7 @@ __all__ = [
     "DEFAULT_EXCLUDE_PARTS",
     "DEFAULT_IO_MODULES",
     "DEFAULT_NONDETERMINISTIC_MODULES",
+    "DEFAULT_PROCESS_MODULES",
     "DEFAULT_VIEW_PLANE_ATTRS",
     "LintConfig",
 ]

@@ -9,7 +9,12 @@ never iterates an unordered collection.  Two checks:
    ``secrets`` (and ``os.urandom()`` calls) anywhere except the rng
    module allowlist.  Code that needs randomness takes a
    :class:`repro.sim.rng.SeededRng`; code that needs time reads the
-   simulator clock.
+   simulator clock.  ``multiprocessing`` is banned too, with a scoped
+   exemption for ``repro/parallel/`` only: process fan-out is allowed
+   solely through :func:`repro.parallel.run_tasks`, whose per-task seed
+   derivation and ordered merge keep sweeps byte-identical to serial
+   runs — a pool rolled anywhere else reintroduces scheduling
+   nondeterminism with none of those guarantees.
 2. **Unordered iteration** — inside ``on_message``/``on_start`` and any
    generator method of a :class:`ProtocolNode` subclass, a ``for`` loop
    (or comprehension) over a set-valued expression must be wrapped in
@@ -81,6 +86,7 @@ class DeterminismRule(Rule):
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
         banned = config.nondeterministic_modules
+        in_parallel = config.is_parallel_module(module.path)
         for name, node in imported_module_names(module.tree):
             if name in banned:
                 yield self.finding(
@@ -88,6 +94,17 @@ class DeterminismRule(Rule):
                     node,
                     f"import of nondeterministic module {name!r} outside "
                     f"sim/rng breaks replayability",
+                )
+            elif name in config.process_modules and not in_parallel:
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of process-spawning module {name!r} outside "
+                    f"repro/parallel; fan work out through "
+                    f"repro.parallel.run_tasks, which keeps sweeps "
+                    f"byte-identical to serial runs",
+                    fix_hint="call repro.parallel.run_tasks(worker, tasks, "
+                    "workers=N) instead of rolling a pool",
                 )
         for node in ast.walk(module.tree):
             if (

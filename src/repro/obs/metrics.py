@@ -122,6 +122,25 @@ class Histogram:
             f"p50={self.p50:.2f} p95={self.p95:.2f} p99={self.p99:.2f})"
         )
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another exact histogram's observations into this one.
+
+        Exact histograms merge losslessly (the observations themselves
+        are kept), so percentiles after a merge equal those of a single
+        histogram fed both observation streams — what the parallel
+        executor relies on when folding worker registries together.
+        """
+        # Histogram's own _values, not a view plane's — RL006's attr set
+        # is name-based and collides here.
+        theirs = other._values  # lint: ignore[RL006]
+        if not theirs:
+            return
+        if self._values and theirs[0] < self._values[-1]:
+            self._sorted = False
+        elif not other._sorted:
+            self._sorted = False
+        self._values.extend(theirs)
+
 
 class MetricsRegistry(Registry):
     """A namespace of counters and *exact* histograms for one run."""

@@ -382,6 +382,29 @@ class Registry:
         yield from sorted(self.gauges)
         yield from sorted(self.histograms)
 
+    # -- aggregation -----------------------------------------------------
+    def merge(self, other: "Registry") -> None:
+        """Fold another registry's state into this one.
+
+        The parallel executor gives each worker task a fresh registry
+        and ships it back with the task's result; the parent folds them
+        in task-index order, so merged totals are independent of worker
+        count and scheduling.  Counters add; histograms delegate to the
+        backend's ``merge`` (exact histograms concatenate observations,
+        HDR histograms add buckets); gauges are last-write-wins, which
+        under in-order merging means the highest-index task's value —
+        deterministic, if rarely meaningful across processes.  Merging a
+        no-op registry is a no-op.
+        """
+        if not other.enabled:
+            return
+        for name, ctr in other.counters.items():
+            self.counter(name).inc(ctr.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other.histograms.items():
+            self.histogram(name).merge(hist)
+
 
 # ----------------------------------------------------------------------
 # no-op mode
@@ -431,6 +454,9 @@ class NullRegistry(Registry):
 
     def histogram(self, name: str) -> Any:
         return self._histogram
+
+    def merge(self, other: Registry) -> None:
+        pass  # disabled plane: nothing accumulates
 
 
 # ----------------------------------------------------------------------

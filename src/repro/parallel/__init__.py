@@ -1,0 +1,11 @@
+"""Deterministic multiprocessing fan-out for seed sweeps.
+
+The only package in the tree permitted to import :mod:`multiprocessing`
+(lint RL001 scopes the exemption to ``repro/parallel/``); everything
+else stays deterministic and sans-io.  See :mod:`repro.parallel.executor`
+for the determinism contract.
+"""
+
+from repro.parallel.executor import WorkerCrash, run_tasks
+
+__all__ = ["WorkerCrash", "run_tasks"]

@@ -82,7 +82,9 @@ class SubstrateStats:
         "eq_evals",
         "eq_rows_scanned",
         "eq_rows_saved",
+        "eq_batched_scans",
         "values_interned",
+        "messages_packed",
     )
 
     def __init__(self) -> None:
@@ -94,8 +96,16 @@ class SubstrateStats:
         self.eq_rows_scanned = 0
         #: rows the bitset plane's incremental match tracking skipped
         self.eq_rows_saved = 0
+        #: pending EQ states refreshed as a batch while flushing dirty
+        #: rows for a *different* predicate's evaluation (each one is a
+        #: full-rescan the per-scan re-poll design would have paid later)
+        self.eq_batched_scans = 0
         #: distinct values interned across every ValueInterner
         self.values_interned = 0
+        #: wire-message constructions answered from the intern table
+        #: instead of allocating (:mod:`repro.core.messages`, fast path
+        #: only)
+        self.messages_packed = 0
 
     def snapshot(self) -> tuple[int, int]:
         return (self.events, self.messages)

@@ -106,6 +106,41 @@ def test_sub_threshold_runs_skip_timing_but_not_counters():
     assert any("seeded schedule was perturbed" in p for p in problems)
 
 
+def test_workers_report_exempt_from_speedup_but_not_counters():
+    """A --workers report is same-mode for equality gates but its
+    wall-clock ratios are machine-dependent and never gated."""
+    base = report()
+    fresh = report(speedup=0.4)  # would fail the ratio gate badly...
+    fresh["workers"] = 4
+    assert compare_reports(fresh, base) == []  # ...but is exempt
+    # deterministic counters and the fingerprint still gate exactly
+    fresh["cases"][0]["fast"]["events"] += 1
+    problems = compare_reports(fresh, base)
+    assert any("seeded schedule was perturbed" in p for p in problems)
+    drifted = report(fingerprint_sha256="cd" * 32)
+    drifted["workers"] = 4
+    problems = compare_reports(drifted, base)
+    assert any("fingerprint changed" in p for p in problems)
+
+
+def test_workers_baseline_also_disables_ratio_gate():
+    base = report(speedup=3.0)
+    base["workers"] = 2
+    assert compare_reports(report(speedup=0.4), base) == []
+
+
+def test_workers_cross_mode_skips_the_absolute_floor_too():
+    base = report(mode="full")
+    fresh = report(mode="smoke", speedup=0.7)
+    fresh["workers"] = 2
+    assert compare_reports(fresh, base) == []
+    # metrics_identical breaks stay fatal even under --workers
+    broken = report(mode="smoke", metrics_identical=False)
+    broken["workers"] = 2
+    problems = compare_reports(broken, base)
+    assert any("metrics_identical is false" in p for p in problems)
+
+
 def test_new_case_without_baseline_is_ignored():
     base = report()
     fresh = report(name="brand_new_case")

@@ -1,0 +1,80 @@
+"""Interned fast-path message construction (:mod:`repro.core.messages`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.core.messages as messages
+from repro.core.messages import (
+    PACKED_INTERN_MAX,
+    MEchoTag,
+    MReadAck,
+    MWriteTag,
+)
+from repro.sim.fastpath import STATS, set_fast_path, slow_path
+
+
+@pytest.fixture(autouse=True)
+def _fast_path():
+    set_fast_path(True)
+    yield
+    set_fast_path(True)
+
+
+def test_fast_path_interns_repeated_constructions():
+    a = MWriteTag(3, 7)
+    b = MWriteTag(3, 7)
+    assert a is b
+    assert a == b and a.tag == 3 and a.reqid == 7
+
+
+def test_instances_are_always_the_dataclass():
+    # exact-type dispatch (match statements, type(payload) tables) must
+    # see the public class on both paths
+    assert type(MWriteTag(1, 2)) is MWriteTag
+    with slow_path():
+        assert type(MWriteTag(1, 2)) is MWriteTag
+
+
+def test_different_kinds_with_equal_fields_stay_distinct():
+    assert MWriteTag(1, 2) != MReadAck(1, 2)
+    assert MWriteTag(1, 2) is not MReadAck(1, 2)
+
+
+def test_slow_path_constructs_fresh_instances():
+    with slow_path():
+        a = MEchoTag(5)
+        b = MEchoTag(5)
+    assert a == b
+    assert a is not b
+
+
+def test_keyword_construction_bypasses_the_intern_table():
+    a = MWriteTag(tag=3, reqid=7)
+    b = MWriteTag(tag=3, reqid=7)
+    assert a == b
+    assert a is not b
+    assert a == MWriteTag(3, 7)
+
+
+def test_intern_hits_are_counted():
+    MEchoTag(123456)  # first construction populates the table
+    before = STATS.messages_packed
+    MEchoTag(123456)
+    assert STATS.messages_packed == before + 1
+
+
+def test_intern_table_is_bounded():
+    messages._intern.clear()
+    for tag in range(PACKED_INTERN_MAX + 10):
+        MEchoTag(tag)
+    assert len(messages._intern) <= PACKED_INTERN_MAX
+
+
+def test_interned_messages_pickle_round_trip():
+    msg = MWriteTag(3, 7)
+    clone = pickle.loads(pickle.dumps(msg))
+    assert clone == msg
+    assert type(clone) is MWriteTag

@@ -1,0 +1,10 @@
+# lint fixture: the repro/parallel package is the one place allowed to
+# import multiprocessing (RL001's scoped exemption) — the deterministic
+# executor lives here.  Never imported at runtime.
+import multiprocessing
+
+
+def run_tasks(worker, tasks, workers):
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(worker, tasks, chunksize=1)

@@ -1,0 +1,9 @@
+# lint fixture: RL001 violation — a multiprocessing import outside the
+# repro/parallel package.  Rolling your own pool bypasses the executor's
+# per-task seed derivation and ordered merge.  Never imported at runtime.
+import multiprocessing
+
+
+def sweep(worker, tasks):
+    with multiprocessing.Pool(processes=4) as pool:
+        return pool.map(worker, tasks)

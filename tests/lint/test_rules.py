@@ -70,6 +70,19 @@ def test_rl001_flags_each_banned_import_and_urandom():
     assert "os.urandom" in messages
 
 
+def test_rl001_flags_multiprocessing_outside_parallel_package():
+    findings = lint_fixture("rl001_mp_bad.py", select=["RL001"])
+    assert len(findings) == 1
+    assert "process-spawning module 'multiprocessing'" in findings[0].message
+    assert "repro.parallel.run_tasks" in findings[0].message
+
+
+def test_rl001_exempts_multiprocessing_in_parallel_package():
+    # package-relative prefix parallel/ hosts the deterministic
+    # executor; it may import multiprocessing — under every rule
+    assert lint_fixture("repro/parallel/rl001_mp_good.py") == []
+
+
 def test_rl001_flags_set_iteration_sites():
     findings = lint_fixture("rl001_bad.py", select=["RL001"])
     iteration = [f for f in findings if "nondeterministic order" in f.message]

@@ -1,0 +1,174 @@
+"""Unit tests for the deterministic executor and the registry merge
+path it relies on (:mod:`repro.parallel.executor`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.registry import (
+    HdrHistogram,
+    NullRegistry,
+    Registry,
+    set_telemetry,
+    telemetry,
+)
+from repro.parallel import WorkerCrash, run_tasks
+
+
+# -- module-level workers: Pool.map pickles them by qualified name ------
+def square(task: int) -> int:
+    return task * task
+
+
+def observe(task: int) -> int:
+    tele = telemetry()
+    tele.counter("tasks").inc()
+    tele.counter("weighted").inc(task)
+    tele.histogram("value").observe(float(task))
+    tele.gauge("last").set(float(task))
+    return task
+
+
+def boom_on_odd(task: int) -> int:
+    if task % 2:
+        raise ValueError(f"task {task} exploded")
+    return task
+
+
+@pytest.fixture
+def scoped_telemetry():
+    """Install an exact-histogram registry for the test, then restore."""
+    registry = MetricsRegistry()
+    previous = set_telemetry(registry)
+    try:
+        yield registry
+    finally:
+        set_telemetry(previous)
+
+
+# -- result ordering ----------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 3])
+def test_results_come_back_in_task_order(workers):
+    assert run_tasks(square, range(7), workers=workers) == [
+        i * i for i in range(7)
+    ]
+
+
+def test_empty_task_list_is_a_noop():
+    assert run_tasks(square, [], workers=4) == []
+
+
+def test_label_count_mismatch_is_rejected():
+    with pytest.raises(ValueError, match="2 labels for 3 tasks"):
+        run_tasks(square, [1, 2, 3], workers=1, labels=["a", "b"])
+
+
+# -- failure semantics --------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 4])
+def test_crash_names_the_lowest_indexed_failing_task(workers):
+    tasks = [0, 2, 3, 5, 4]  # indices 2 and 3 raise
+    labels = [f"unit-{t}" for t in tasks]
+    with pytest.raises(WorkerCrash) as excinfo:
+        run_tasks(boom_on_odd, tasks, workers=workers, labels=labels)
+    assert excinfo.value.label == "unit-3"
+    assert "ValueError: task 3 exploded" in excinfo.value.traceback_text
+
+
+def test_crash_labels_default_to_task_indices():
+    with pytest.raises(WorkerCrash) as excinfo:
+        run_tasks(boom_on_odd, [0, 1], workers=1)
+    assert excinfo.value.label == "1"
+
+
+# -- telemetry merge ----------------------------------------------------
+def test_worker_telemetry_totals_independent_of_worker_count():
+    reports = []
+    for workers in (1, 3):
+        registry = MetricsRegistry()
+        previous = set_telemetry(registry)
+        try:
+            run_tasks(observe, range(1, 9), workers=workers)
+        finally:
+            set_telemetry(previous)
+        reports.append(registry.to_dict())
+    assert reports[0] == reports[1]
+    counters = reports[0]["counters"]
+    assert counters["tasks"] == 8
+    assert counters["weighted"] == sum(range(1, 9))
+    assert reports[0]["histograms"]["value"]["count"] == 8
+
+
+def test_gauges_merge_last_write_wins_in_task_order(scoped_telemetry):
+    run_tasks(observe, [5, 2, 9], workers=2)
+    assert scoped_telemetry.gauges["last"].value == 9.0
+
+
+def test_disabled_telemetry_stays_disabled(scoped_telemetry):
+    # precondition for this test is the *default* no-op plane
+    set_telemetry(None)
+    run_tasks(observe, range(4), workers=2)
+    assert telemetry().to_dict()["counters"] == {}
+
+
+# -- Registry.merge / histogram merge unit behaviour --------------------
+def test_registry_merge_adds_counters_and_concatenates_histograms():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("n").inc(2)
+    b.counter("n").inc(3)
+    b.counter("only_b").inc()
+    for v in (1.0, 5.0):
+        a.histogram("lat").observe(v)
+    for v in (3.0, 2.0):
+        b.histogram("lat").observe(v)
+    a.merge(b)
+    assert a.counters["n"].value == 5
+    assert a.counters["only_b"].value == 1
+    reference = Histogram("lat")
+    for v in (1.0, 5.0, 3.0, 2.0):
+        reference.observe(v)
+    assert a.histograms["lat"].summary() == reference.summary()
+
+
+def test_registry_merge_of_null_registry_is_a_noop():
+    a = Registry()
+    a.counter("n").inc()
+    a.merge(NullRegistry())
+    assert a.counters["n"].value == 1
+
+
+def test_exact_histogram_merge_matches_single_stream_percentiles():
+    merged = Histogram("m")
+    single = Histogram("s")
+    left = [0.5, 9.0, 3.0]
+    right = [1.0, 2.0, 7.5, 0.25]
+    for v in left:
+        merged.observe(v)
+    h2 = Histogram("other")
+    for v in right:
+        h2.observe(v)
+    _ = merged.p50  # force a sort so the sorted-flag path is exercised
+    merged.merge(h2)
+    for v in left + right:
+        single.observe(v)
+    assert merged.summary() == single.summary()
+
+
+def test_exact_histogram_merge_of_empty_is_a_noop():
+    h = Histogram("h")
+    h.observe(1.0)
+    h.merge(Histogram("empty"))
+    assert h.count == 1
+
+
+def test_hdr_histogram_merge_adds_buckets():
+    a, b = HdrHistogram("a"), HdrHistogram("b")
+    for v in (1.0, 2.0, 4.0):
+        a.observe(v)
+    for v in (8.0, 0.5):
+        b.observe(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.minimum == 0.5
+    assert a.maximum == 8.0
