@@ -14,13 +14,14 @@ baseline) can serve as the substrate:
   consistent snapshots (termination detection).
 """
 
-from repro.apps.client import SnapshotClient
+from repro.apps.client import OperationAborted, SnapshotClient
 from repro.apps.state_machine import UpdateQueryStateMachine
 from repro.apps.crdt import GCounter, LWWRegister, ORSet, PNCounter
 from repro.apps.asset_transfer import AssetTransfer, InsufficientFunds, Transfer
 from repro.apps.stable_property import StablePropertyMonitor, TerminationDetector
 
 __all__ = [
+    "OperationAborted",
     "SnapshotClient",
     "UpdateQueryStateMachine",
     "GCounter",

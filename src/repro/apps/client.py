@@ -19,6 +19,28 @@ from repro.core.tags import Snapshot
 from repro.runtime.cluster import Cluster, OpHandle
 
 
+class OperationAborted(RuntimeError):
+    """A client operation aborted because its node crashed.
+
+    Carries the failed operation's handle so callers can tell *which*
+    invocation died (the op id exists only if the operation got far
+    enough to be recorded in the history; an invocation on an
+    already-crashed node never does) and the simulation time at which
+    the abort surfaced.
+    """
+
+    def __init__(self, handle: OpHandle, sim_now: float) -> None:
+        op_id = None if handle.record is None else handle.record.op_id
+        op_ref = "unrecorded" if op_id is None else f"op_id={op_id}"
+        super().__init__(
+            f"operation {handle.kind} at node {handle.node} aborted "
+            f"({op_ref}, t={sim_now:g}): node crashed"
+        )
+        self.handle = handle
+        self.op_id = op_id
+        self.sim_now = sim_now
+
+
 class SnapshotClient:
     """Blocking update/scan client for one node of a cluster."""
 
@@ -27,13 +49,17 @@ class SnapshotClient:
         self.node = node
 
     def call(self, opname: str, *args: Any) -> OpHandle:
-        """Invoke any client operation and run the sim to its completion."""
+        """Invoke any client operation and run the sim to its completion.
+
+        Raises:
+            OperationAborted: the node crashed before the operation
+                completed (the exception carries the handle, the op id
+                when one was recorded, and the simulation time).
+        """
         handle = self.cluster.invoke(self.node, opname, *args)
         self.cluster.run_until_complete([handle])
         if handle.aborted:
-            raise RuntimeError(
-                f"operation {opname} at node {self.node} aborted (node crashed)"
-            )
+            raise OperationAborted(handle, self.cluster.sim.now)
         return handle
 
     def update(self, value: Any) -> OpHandle:
@@ -45,4 +71,4 @@ class SnapshotClient:
         return self.call("scan").result
 
 
-__all__ = ["SnapshotClient"]
+__all__ = ["OperationAborted", "SnapshotClient"]

@@ -96,6 +96,18 @@ def _views(**kw: Any) -> dict[str, Any]:
     return views_stress(**kw)
 
 
+def _shard_throughput(**kw: Any) -> dict[str, Any]:
+    from repro.shard.bench import shard_throughput
+
+    return shard_throughput(**kw)
+
+
+def _shard_scan_tail(**kw: Any) -> dict[str, Any]:
+    from repro.shard.bench import shard_scan_tail
+
+    return shard_scan_tail(**kw)
+
+
 def _byzantine(**kw: Any) -> list[dict[str, Any]]:
     from repro.harness.byzantine import byz_scaling
 
@@ -142,6 +154,24 @@ CASES: dict[str, BenchCase] = {
         lockstep=False,
         full=_byzantine,
         smoke=lambda: _byzantine(byz_counts=(0, 1), ops_per_honest=1),
+    ),
+    "shard_throughput": BenchCase(
+        "shard_throughput",
+        "sharded service aggregate throughput (ops per D of makespan): "
+        "4 shards vs one shard vs one table1-sized object, open-loop "
+        "Zipf-keyed traffic at a single-group-saturating rate",
+        lockstep=True,
+        full=_shard_throughput,
+        smoke=lambda: _shard_throughput(ops=150, baseline_ops=60, keys=64),
+    ),
+    "shard_scan_tail": BenchCase(
+        "shard_scan_tail",
+        "sharded service tail latency (open-loop p50/p95/p99 per lane) "
+        "under bursty MMPP arrivals, Zipf skew and cross-shard "
+        "monotone-cut composite scans",
+        lockstep=True,
+        full=_shard_scan_tail,
+        smoke=lambda: _shard_scan_tail(ops=120, keys=64),
     ),
     "views": BenchCase(
         "views",

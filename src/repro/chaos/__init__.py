@@ -55,6 +55,19 @@ from repro.chaos.runner import (
 )
 from repro.chaos.shrink import ShrinkResult, shrink_plan
 
+
+def __getattr__(name: str):
+    # Lazy re-export: the whole-shard crash campaign lives with the
+    # sharded service (repro.shard.chaos) but is part of the chaos
+    # surface.  Importing it eagerly would pull the shard stack into
+    # every chaos import, so resolve it on first attribute access.
+    if name == "shard_crash_campaign":
+        from repro.shard.chaos import shard_crash_campaign
+
+        return shard_crash_campaign
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AlgoProfile",
     "BYZANTINE_ALGOS",
@@ -80,5 +93,6 @@ __all__ = [
     "get_profile",
     "run_campaign",
     "run_plan",
+    "shard_crash_campaign",
     "shrink_plan",
 ]

@@ -108,6 +108,11 @@ class LintConfig:
     rng_modules: tuple[str, ...] = ("sim/rng.py",)
     #: package-relative prefixes that must stay sans-io
     sansio_prefixes: tuple[str, ...] = ("core/", "baselines/", "net/")
+    #: package-relative prefixes of the sharded-service layer; held to
+    #: the same sans-io discipline (its CLI does I/O through argparse
+    #: and file writes, which RL002 does not ban — what is banned is
+    #: sockets/threads/asyncio sneaking into the deterministic service)
+    shard_modules: tuple[str, ...] = ("shard/",)
     #: module basename substring marking a wire-message module
     messages_pattern: str = "messages"
     #: package-relative module paths allowed to touch view internals
@@ -145,7 +150,10 @@ class LintConfig:
         rel = self.package_relpath(path)
         if rel is None:
             return False
-        return any(rel.startswith(p) for p in self.sansio_prefixes)
+        return any(
+            rel.startswith(p)
+            for p in self.sansio_prefixes + self.shard_modules
+        )
 
     def is_messages_module(self, path: str) -> bool:
         name = pathlib.PurePath(path).name
@@ -214,6 +222,8 @@ class LintConfig:
             kwargs["rng_modules"] = tuple(map(str, table["rng-modules"]))
         if "sansio-paths" in table:
             kwargs["sansio_prefixes"] = tuple(map(str, table["sansio-paths"]))
+        if "shard-modules" in table:
+            kwargs["shard_modules"] = tuple(map(str, table["shard-modules"]))
         if "view-plane-modules" in table:
             kwargs["view_plane_modules"] = tuple(
                 map(str, table["view-plane-modules"])

@@ -40,3 +40,37 @@ def test_interleaved_clients_share_simulation():
         c.update(f"v{i}")
     snap = clients[0].scan()
     assert snap.values[:3] == ("v0", "v1", "v2")
+
+
+def test_aborted_operation_raises_typed_exception_with_context():
+    from repro.apps import OperationAborted
+
+    plan = CrashPlan({2: CrashAtTime(0.5)})
+    cluster = Cluster(EqAso, n=4, f=1, crash_plan=plan)
+    client = SnapshotClient(cluster, 2)
+    cluster.run(until=1.0)
+    with pytest.raises(OperationAborted) as exc_info:
+        client.update("x")
+    err = exc_info.value
+    # a dedicated subclass (existing `except RuntimeError` keeps working)
+    assert isinstance(err, RuntimeError)
+    # carries which invocation died and when the abort surfaced
+    assert err.handle.kind == "update" and err.handle.node == 2
+    assert err.sim_now == cluster.sim.now
+    assert "update" in str(err) and "node 2" in str(err)
+    # an invocation on an already-crashed node never gets an op record
+    assert err.op_id is None and "unrecorded" in str(err)
+
+
+def test_aborted_mid_flight_operation_reports_its_op_id():
+    from repro.apps import OperationAborted
+
+    plan = CrashPlan({1: CrashAtTime(1.5)})
+    cluster = Cluster(EqAso, n=4, f=1, crash_plan=plan)
+    client = SnapshotClient(cluster, 1)
+    with pytest.raises(OperationAborted) as exc_info:
+        client.update("x")  # invoked live, recorded, crashes mid-flight
+    err = exc_info.value
+    assert err.op_id is not None
+    assert f"op_id={err.op_id}" in str(err)
+    assert err.sim_now >= 1.5

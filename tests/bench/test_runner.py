@@ -20,9 +20,23 @@ def test_bad_repeats_rejected():
 
 
 def test_case_registry_shape():
-    assert set(CASES) == {"table1", "scale_k", "interference", "byzantine", "views"}
+    assert set(CASES) == {
+        "table1",
+        "scale_k",
+        "interference",
+        "shard_throughput",
+        "shard_scan_tail",
+        "byzantine",
+        "views",
+    }
     lockstep = {name for name, case in CASES.items() if case.lockstep}
-    assert lockstep == {"table1", "scale_k", "views"}
+    assert lockstep == {
+        "table1",
+        "scale_k",
+        "shard_throughput",
+        "shard_scan_tail",
+        "views",
+    }
 
 
 def test_smoke_bench_single_case_valid_and_identical():

@@ -183,3 +183,111 @@ def test_prune_below_never_changes_results():
     before = (V.restricted_row(0, 3), V.restricted_row(0, 5))
     V.prune_below(10)  # evicts every cached restriction
     assert (V.restricted_row(0, 3), V.restricted_row(0, 5)) == before
+
+
+# ----------------------------------------------------------------------
+# EQ match-state cache: LRU bound, eviction cost, idle expiry (PR-4/PR-8)
+#
+# The cache is private, so the tests probe membership behaviorally via
+# the substrate counters: with no dirty rows, re-querying a CACHED key
+# is a free hit (eq_rows_saved += n) while a key that was evicted or
+# expired pays the full rescan (eq_rows_scanned += n).  A probe is a
+# real query, so it re-registers a missing key (LRU front eviction
+# included) — probe in an order where that churn is accounted for.
+# ----------------------------------------------------------------------
+def _mirrored(n, adds):
+    """The same add-sequence applied to both planes (for differential EQ)."""
+    from repro.core.views import BitsetViewVector, ReferenceViewVector
+
+    V, ref = BitsetViewVector(n), ReferenceViewVector(n)
+    for j, value in adds:
+        V.add(j, value)
+        ref.add(j, value)
+    return V, ref
+
+
+def _probe(V, i, r):
+    """Query (i, r) on clean rows; report whether the state was cached."""
+    from repro.sim.fastpath import STATS
+
+    scanned, saved = STATS.eq_rows_scanned, STATS.eq_rows_saved
+    result = V.eq_predicate(i, 1, r)
+    if STATS.eq_rows_saved == saved + V.n and STATS.eq_rows_scanned == scanned:
+        return "hit", result
+    assert STATS.eq_rows_scanned == scanned + V.n, "probe needs clean rows"
+    return "miss", result
+
+
+def test_eq_state_cache_bounded_with_front_eviction():
+    from repro.core.views import MAX_EQ_STATES, BitsetViewVector
+
+    V = BitsetViewVector(4)
+    for j in range(4):
+        V.add(j, vt("seed", 1))
+    for r in [None] + list(range(1, MAX_EQ_STATES + 2)):
+        V.eq_predicate(0, 1, r)  # MAX_EQ_STATES + 2 distinct (i, r) keys
+        assert int(V.cache_stats()["eq_states"]) <= MAX_EQ_STATES
+    # insertion order is recency order: the newest key is cached, the
+    # oldest two ((0, None) then (0, 1)) fell off the front
+    assert _probe(V, 0, MAX_EQ_STATES + 1)[0] == "hit"
+    assert _probe(V, 0, None)[0] == "miss"
+    assert _probe(V, 0, 1)[0] == "miss"
+
+
+def test_eq_state_hit_refreshes_lru_order():
+    from repro.core.views import MAX_EQ_STATES, BitsetViewVector
+
+    V = BitsetViewVector(4)
+    for j in range(4):
+        V.add(j, vt("seed", 1))
+    for r in range(1, MAX_EQ_STATES + 1):
+        V.eq_predicate(0, 1, r)
+    assert int(V.cache_stats()["eq_states"]) == MAX_EQ_STATES
+    V.eq_predicate(0, 1, 1)  # clean hit reinserts (0, 1) at the back
+    V.eq_predicate(0, 1, MAX_EQ_STATES + 1)  # forces one eviction
+    assert _probe(V, 0, 1)[0] == "hit"  # survived: recently queried
+    assert _probe(V, 0, 2)[0] == "miss"  # evicted in its place
+
+
+def test_eq_eviction_costs_full_rescan_but_stays_exact():
+    from repro.core.views import MAX_EQ_STATES
+
+    n = 4
+    adds = [(j, vt("x", 1)) for j in range(n)]
+    adds.append((0, vt("y", 2, useq=2)))
+    V, ref = _mirrored(n, adds)
+    V.eq_predicate(0, 1, None)
+    for r in range(1, MAX_EQ_STATES + 1):
+        V.eq_predicate(0, 1, r)  # capacity churn evicts (0, None)
+
+    # rows are clean, but the state is gone: the re-query pays the full
+    # n-row scan — and eviction never changes the predicate's answer
+    status, hit = _probe(V, 0, None)
+    assert status == "miss"
+    assert hit == ref.eq_predicate(0, 1, None)
+
+    # ...and the re-registered state serves the next query for free
+    status, again = _probe(V, 0, None)
+    assert status == "hit"
+    assert again == hit
+
+
+def test_eq_idle_states_expire_during_dirty_flush():
+    from repro.core.views import MAX_EQ_IDLE, BitsetViewVector, ReferenceViewVector
+
+    n = 4
+    V, ref = BitsetViewVector(n), ReferenceViewVector(n)
+    V.eq_predicate(0, 1, None)  # register key A, then leave it idle
+    for step in range(MAX_EQ_IDLE + 2):
+        value = vt(f"w{step}", step + 1, writer=step % n, useq=step + 1)
+        V.add(step % n, value)
+        ref.add(step % n, value)
+        V.eq_predicate(1, 1, None)  # key B advances the idle clock
+    # A expired during a dirty flush (full rescan on re-query); B was
+    # queried throughout and stayed cached — and expiry is pure memory
+    # management: both answers still match the reference plane exactly
+    status_a, hit_a = _probe(V, 0, None)
+    status_b, hit_b = _probe(V, 1, None)
+    assert (status_a, status_b) == ("miss", "hit")
+    assert hit_a == ref.eq_predicate(0, 1, None)
+    assert hit_b == ref.eq_predicate(1, 1, None)

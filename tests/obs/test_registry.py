@@ -201,3 +201,44 @@ def test_metrics_registry_is_a_registry_with_exact_histograms():
     assert reg.histogram("lat").p50 == 2.0  # exact, not bucketed
     reg.gauge("g").set(1.0)  # gauges available on the exact registry too
     assert reg.to_dict()["gauges"] == {"g": 1.0}
+
+
+def test_hdr_merge_folds_into_open_window():
+    a, b = HdrHistogram(), HdrHistogram()
+    a.observe_many([1.0, 2.0])
+    a.window_summary()  # close a's window
+    b.observe_many([10.0, 20.0])
+    b.window_summary()  # b's own window is closed too...
+    a.merge(b)
+    assert a.count == 4 and a.total == 33.0 and a.maximum == 20.0
+    assert a.percentile(100) == 20.0
+    win = a.window_summary()
+    # ...but merge folds b's CUMULATIVE state into a's window: a window
+    # opened before the merge observes everything b ever recorded
+    assert win["count"] == 2
+    assert win["min"] == 10.0 and win["max"] == 20.0
+    assert a.window_summary()["count"] == 0
+
+
+def test_registry_merge_over_windowed_snapshots():
+    dst, src = Registry(), Registry()
+    dst.counter("ops").inc(2)
+    dst.histogram("lat").observe_many([1.0, 2.0])
+    assert dst.window()["counters"] == {"ops": 2}  # marks ops at 2
+    src.counter("ops").inc(3)
+    src.histogram("lat").observe_many([10.0, 20.0])
+    dst.merge(src)
+    # cumulative totals combine both registries exactly
+    assert dst.counter("ops").value == 5
+    hist = dst.histogram("lat")
+    assert hist.count == 4 and hist.percentile(100) == 20.0
+    # the post-merge window delta is exactly the merged-in increment:
+    # the counter moved 2 -> 5, the histogram gained src's two samples
+    win = dst.window()
+    assert win["counters"] == {"ops": 3}
+    assert win["histograms"]["lat"]["count"] == 2
+    assert win["histograms"]["lat"]["min"] == 10.0
+    # and the window is empty again once drained
+    empty = dst.window()
+    assert empty["counters"] == {"ops": 0}
+    assert empty["histograms"]["lat"]["count"] == 0

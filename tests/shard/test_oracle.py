@@ -1,0 +1,62 @@
+"""Differential oracle: identity, projection, composition checks."""
+
+import pytest
+
+from repro.shard import ShardConfig, ShardedSnapshotService, WorkloadSpec
+from repro.shard.oracle import (
+    check_composition,
+    check_projection,
+    run_oracle,
+)
+
+SPEC = WorkloadSpec(
+    ops=120, keys=24, read_ratio=0.3, global_scan_ratio=0.2, clients=40,
+    rate=2.0,
+)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 3])
+def test_oracle_passes_on_clean_configs(shards):
+    config = ShardConfig(shards=shards, nodes_per_shard=3, f=1)
+    verdict = run_oracle(config, SPEC, 7)
+    assert verdict.ok, verdict.failures
+    assert verdict.identity_ok and verdict.projection_ok
+    assert verdict.composition_ok and verdict.order_ok
+
+
+def test_oracle_with_whole_shard_crash_skips_projection():
+    config = ShardConfig(shards=2, nodes_per_shard=3, f=1)
+    verdict = run_oracle(config, SPEC, 7, crash_shard=1, crash_time=10.0)
+    assert verdict.ok, verdict.failures
+    assert verdict.projection_ok is None  # replay undefined under crash
+
+
+def test_projection_refuses_crashed_reports():
+    config = ShardConfig(shards=2, nodes_per_shard=3, f=1)
+    report = ShardedSnapshotService(config).run(
+        SPEC, 7, crash_shard=0, crash_time=10.0, keep_snapshots=True
+    )
+    with pytest.raises(ValueError):
+        check_projection(config, SPEC, 7, report)
+
+
+def test_composition_detects_a_violated_cut():
+    config = ShardConfig(shards=2, nodes_per_shard=3, f=1)
+    report = ShardedSnapshotService(config).run(
+        SPEC, 7, keep_snapshots=True
+    )
+    assert report.composites
+    failures = check_composition(report)
+    assert failures == []
+    # corrupt one composite's cut so it is no longer monotone
+    comp = report.composites[0]
+    broken = comp.__class__(
+        index=comp.index,
+        client=comp.client,
+        t_arrival=comp.t_arrival,
+        parts=comp.parts,
+        cut=tuple(reversed(comp.cut)) if comp.cut[0] != comp.cut[-1]
+        else (comp.cut[0], comp.cut[0] - 1.0),
+    )
+    report.composites[0] = broken
+    assert check_composition(report)

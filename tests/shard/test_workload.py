@@ -1,0 +1,101 @@
+"""Open-loop workload generator: determinism, mix, Zipf skew, MMPP."""
+
+import pytest
+
+from repro.shard.workload import (
+    GLOBAL_SCAN,
+    SCAN,
+    UPDATE,
+    Arrival,
+    WorkloadSpec,
+    ZipfKeys,
+    generate_arrivals,
+)
+
+
+def test_same_seed_same_arrivals():
+    spec = WorkloadSpec(ops=300, keys=64, read_ratio=0.3, global_scan_ratio=0.2)
+    assert generate_arrivals(spec, 42) == generate_arrivals(spec, 42)
+
+
+def test_different_seed_different_arrivals():
+    spec = WorkloadSpec(ops=300, keys=64, read_ratio=0.3)
+    assert generate_arrivals(spec, 1) != generate_arrivals(spec, 2)
+
+
+def test_arrival_shape_and_monotone_times():
+    spec = WorkloadSpec(ops=200, keys=32, read_ratio=0.25, clients=10)
+    arrivals = generate_arrivals(spec, 7)
+    assert len(arrivals) == 200
+    assert [a.index for a in arrivals] == list(range(200))
+    times = [a.t for a in arrivals]
+    assert times == sorted(times) and times[0] >= 0.0
+    assert all(0 <= a.client < 10 for a in arrivals)
+    assert all(isinstance(a, Arrival) for a in arrivals)
+
+
+def test_mix_ratios_and_key_conventions():
+    spec = WorkloadSpec(
+        ops=2000, keys=64, read_ratio=0.4, global_scan_ratio=0.25
+    )
+    arrivals = generate_arrivals(spec, 7)
+    kinds = {k: sum(1 for a in arrivals if a.kind == k)
+             for k in (UPDATE, SCAN, GLOBAL_SCAN)}
+    assert sum(kinds.values()) == 2000
+    # ~40% reads, of which ~25% are global scans
+    assert 0.3 < (kinds[SCAN] + kinds[GLOBAL_SCAN]) / 2000 < 0.5
+    assert 0 < kinds[GLOBAL_SCAN] < kinds[SCAN]
+    assert all(a.key == "" for a in arrivals if a.kind == GLOBAL_SCAN)
+    assert all(a.key != "" for a in arrivals if a.kind != GLOBAL_SCAN)
+
+
+def test_zipf_skews_toward_low_ranks():
+    keys = ZipfKeys(100, 1.2)
+    from repro.sim.rng import SeededRng
+
+    rng = SeededRng(7).child("zipf-test")
+    counts: dict[str, int] = {}
+    for _ in range(5000):
+        k = keys.draw(rng)
+        counts[k] = counts.get(k, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    # the hottest key dominates; the head holds most of the mass
+    assert ranked[0] > 5000 / 100 * 5
+    assert sum(ranked[:10]) > 2500
+
+
+def test_uniform_when_theta_zero():
+    keys = ZipfKeys(50, 0.0)
+    from repro.sim.rng import SeededRng
+
+    rng = SeededRng(7).child("uniform-test")
+    counts: dict[str, int] = {}
+    for _ in range(5000):
+        k = keys.draw(rng)
+        counts[k] = counts.get(k, 0) + 1
+    assert len(counts) == 50
+    assert max(counts.values()) < 3 * min(counts.values())
+
+
+def test_mmpp_burstiness_stretches_the_span():
+    base = dict(ops=400, keys=32, rate=2.0)
+    steady = WorkloadSpec(**base)
+    bursty = WorkloadSpec(**base, off_rate=0.1, mean_on=20.0, mean_off=40.0)
+    t_steady = generate_arrivals(steady, 7)[-1].t
+    t_bursty = generate_arrivals(bursty, 7)[-1].t
+    # long OFF periods at a tenth the rate stretch the same op count
+    # over a longer span
+    assert t_bursty > t_steady * 1.5
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops=10, keys=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops=10, read_ratio=1.5)
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops=10, rate=0.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(ops=10, off_rate=0.5, mean_off=20.0, mean_on=0.0)
