@@ -132,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
     except BenchError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
         return 1
+    except KeyError as exc:
+        # a case's workload resolving an unknown registry name (profile,
+        # behaviour, experiment) raises KeyError with a choices message;
+        # args[0] because str(KeyError) quotes the message
+        detail = exc.args[0] if exc.args else exc
+        print(f"bench failed: {detail}", file=sys.stderr)
+        return 1
     except WorkerCrash as crash:
         print(f"bench worker crashed on {crash.label}", file=sys.stderr)
         print(crash.traceback_text, file=sys.stderr, end="")

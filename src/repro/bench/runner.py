@@ -108,6 +108,12 @@ def _shard_scan_tail(**kw: Any) -> dict[str, Any]:
     return shard_scan_tail(**kw)
 
 
+def _contender_latency(**kw: Any) -> list[dict[str, Any]]:
+    from repro.harness.contenders import contender_latency
+
+    return [row.as_dict() for row in contender_latency(**kw)]
+
+
 def _byzantine(**kw: Any) -> list[dict[str, Any]]:
     from repro.harness.byzantine import byz_scaling
 
@@ -154,6 +160,15 @@ CASES: dict[str, BenchCase] = {
         lockstep=False,
         full=_byzantine,
         smoke=lambda: _byzantine(byz_counts=(0, 1), ops_per_honest=1),
+    ),
+    "contender_latency": BenchCase(
+        "contender_latency",
+        "head-to-head contender race (BFK / IMPR / Delporte / EQ-ASO): "
+        "failure-free latency, scan-vs-c updater ramp, staircase worst "
+        "case and fault envelope — all lockstep, seedless",
+        lockstep=True,
+        full=_contender_latency,
+        smoke=lambda: _contender_latency(c_values=(1, 4), k=3, envelope_ns=(3, 5)),
     ),
     "shard_throughput": BenchCase(
         "shard_throughput",

@@ -18,7 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.baselines import DelporteAso, LatticeAso, ScdAso, StoreCollectAso
+from repro.baselines import (
+    BfkAso,
+    DelporteAso,
+    ImprRegisterAso,
+    LatticeAso,
+    ScdAso,
+    StoreCollectAso,
+)
 from repro.core import ByzantineAso, ByzantineSso, EqAso, SsoFastScan
 from repro.core.tags import Timestamp, ValueTs
 from repro.net.byzantine import (
@@ -48,7 +55,8 @@ class AlgoProfile:
     mutant_of: str | None = None
 
 
-#: the six algorithms of Table I, under the crash-fault model
+#: the healthy crash-model sweep: the six algorithms of Table I plus the
+#: post-2022 contenders (BFK fast snapshot, IMPR register layering)
 CAMPAIGN_ALGOS: dict[str, AlgoProfile] = {
     "eq_aso": AlgoProfile("eq_aso", EqAso, LINEARIZABLE, n=5, f=2),
     "sso_fast_scan": AlgoProfile(
@@ -60,7 +68,41 @@ CAMPAIGN_ALGOS: dict[str, AlgoProfile] = {
     ),
     "scd": AlgoProfile("scd", ScdAso, LINEARIZABLE, n=5, f=2),
     "la_based": AlgoProfile("la_based", LatticeAso, LINEARIZABLE, n=5, f=2),
+    "bfk": AlgoProfile("bfk", BfkAso, LINEARIZABLE, n=5, f=2),
+    "impr": AlgoProfile("impr", ImprRegisterAso, LINEARIZABLE, n=5, f=2),
 }
+
+
+def healthy_profiles() -> dict[str, AlgoProfile]:
+    """The current healthy crash-model sweep — what ``--algo all`` and
+    ``--smoke`` expand to.  Computed at call time so contenders added
+    via :func:`register_profile` are picked up, not the import-time
+    sort of :data:`CAMPAIGN_ALGOS`."""
+    return dict(CAMPAIGN_ALGOS)
+
+
+def register_profile(profile: AlgoProfile, *, campaign: bool = True) -> None:
+    """Register a new algorithm profile at runtime.
+
+    ``campaign=True`` adds it to the healthy ``--algo all`` sweep
+    (crash-model algorithms only); ``campaign=False`` registers it as an
+    extra profile reachable by explicit name (like the Byzantine
+    variants).  Registering an existing name is an error — profiles are
+    identities, not configuration.
+    """
+    if profile.name in all_profiles():
+        raise ValueError(f"profile {profile.name!r} is already registered")
+    if campaign:
+        CAMPAIGN_ALGOS[profile.name] = profile
+    else:
+        BYZANTINE_ALGOS[profile.name] = profile
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a profile added via :func:`register_profile` (tests and
+    plugin teardown); unknown names are a no-op."""
+    CAMPAIGN_ALGOS.pop(name, None)
+    BYZANTINE_ALGOS.pop(name, None)
 
 #: Byzantine-tolerant variants (n > 3f); the generator may also replace
 #: up to f nodes with adversarial behaviours
@@ -110,7 +152,7 @@ def make_behaviour(name: str) -> ByzantineBehavior:
 
 
 def all_profiles() -> dict[str, AlgoProfile]:
-    """Every runnable profile: campaign six + Byzantine + mutants."""
+    """Every runnable profile: campaign set + Byzantine + mutants."""
     from repro.chaos.mutants import MUTANTS
 
     out = dict(CAMPAIGN_ALGOS)
@@ -146,6 +188,9 @@ __all__ = [
     "SEQUENTIAL",
     "all_profiles",
     "get_profile",
+    "healthy_profiles",
     "make_behaviour",
+    "register_profile",
+    "unregister_profile",
     "value_match_for",
 ]

@@ -24,13 +24,27 @@ a minimal failing seed.
   *incomparable* views (each missing the other side's in-flight write) —
   violating even sequential consistency.  Fires under plain concurrency,
   so it is caught fast and shrinks small.
+
+- :class:`BfkWeakStoreQuorum` — the BFK contender's UPDATE store quorum
+  weakened to 1 (the writer's own self-ack): an update "completes"
+  before any replica stores it, so a later scan can miss a completed
+  update — the same new/old inversion as the Delporte weak write, now
+  proving the checkers keep their teeth on the new algorithm.
+
+- :class:`ImprWeakCollectQuorum` — the IMPR contender's register-read
+  quorum weakened to 1: the reader's own zero-delay reply makes every
+  collect a unanimous local read, the double collect trivially agrees,
+  and the scan degenerates to a local view — concurrent scans at
+  different nodes return incomparable views.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.baselines.bfk import BfkAso, MStoreB
 from repro.baselines.delporte import DelporteAso, MCollect, MWrite
+from repro.baselines.impr import ImprRegisterAso, MRegRead, RegArray, _merge
 from repro.chaos.algos import LINEARIZABLE, AlgoProfile
 from repro.runtime.protocol import OpGen, WaitUntil
 
@@ -78,6 +92,52 @@ class DelporteWeakScanQuorum(DelporteAso):
         return self._to_snapshot(query_view)
 
 
+class BfkWeakStoreQuorum(BfkAso):
+    """[mutant] BFK UPDATE store quorum n−f → 1 (see module docstring)."""
+
+    def update(self, value: Any) -> OpGen:
+        self._seq += 1
+        seq = self._seq
+        key = (self.node_id, seq)
+        self._store_acks[key] = set()
+        self.phase_enter("store")
+        self.broadcast(MStoreB(self.node_id, seq, value))
+        # mutation: any single ack — in practice the writer's own
+        # zero-delay self-ack — releases the update
+        yield WaitUntil(
+            lambda: len(self._store_acks[key]) >= 1,
+            f"weakened bfk store quorum (seq {seq})",
+        )
+        self.phase_exit("store")
+        del self._store_acks[key]
+        return "ACK"
+
+
+class ImprWeakCollectQuorum(ImprRegisterAso):
+    """[mutant] IMPR register-read quorum n−f → 1."""
+
+    def collect(self) -> OpGen:
+        reqid = next(self._reqids)
+        acks: dict[int, RegArray] = {}
+        self._read_acks[reqid] = acks
+        self.phase_enter("reg-read")
+        self.broadcast(MRegRead(reqid))
+        # mutation: one reply (the reader's own) settles the read, so
+        # every collect is a unanimous local read and the double collect
+        # degenerates to a local view
+        yield WaitUntil(
+            lambda: len(acks) >= 1,
+            f"weakened impr read quorum (req {reqid})",
+        )
+        self.phase_exit("reg-read")
+        del self._read_acks[reqid]
+        merged = next(iter(acks.values()))
+        for arr in acks.values():
+            merged = _merge(merged, arr)
+        self.regs = _merge(self.regs, merged)
+        return merged
+
+
 #: mutant registry — separate namespace from the healthy profiles
 MUTANTS: dict[str, AlgoProfile] = {
     "mut-delporte-weak-write": AlgoProfile(
@@ -96,7 +156,29 @@ MUTANTS: dict[str, AlgoProfile] = {
         f=2,
         mutant_of="delporte",
     ),
+    "mut-bfk-weak-store": AlgoProfile(
+        "mut-bfk-weak-store",
+        BfkWeakStoreQuorum,
+        LINEARIZABLE,
+        n=5,
+        f=2,
+        mutant_of="bfk",
+    ),
+    "mut-impr-weak-collect": AlgoProfile(
+        "mut-impr-weak-collect",
+        ImprWeakCollectQuorum,
+        LINEARIZABLE,
+        n=5,
+        f=2,
+        mutant_of="impr",
+    ),
 }
 
 
-__all__ = ["MUTANTS", "DelporteWeakScanQuorum", "DelporteWeakWriteQuorum"]
+__all__ = [
+    "MUTANTS",
+    "BfkWeakStoreQuorum",
+    "DelporteWeakScanQuorum",
+    "DelporteWeakWriteQuorum",
+    "ImprWeakCollectQuorum",
+]

@@ -61,7 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run(names: list[str], master_seed: int) -> int:
     for name in names:
-        result = run_experiment(name, master_seed=master_seed)
+        try:
+            result = run_experiment(name, master_seed=master_seed)
+        except KeyError as exc:
+            # registry lookups (profiles, behaviours) raise KeyError with
+            # a choices message; surface it as one line, not a traceback.
+            # args[0] because str(KeyError) quotes the message.
+            detail = exc.args[0] if exc.args else exc
+            print(f"experiment {name!r} failed: {detail}", file=sys.stderr)
+            return 2
         try:
             print(result)
             print()

@@ -136,7 +136,9 @@ def value_match_factory(factory) -> Callable[[int], Callable[[Any], bool]]:
     """Per-algorithm factory: given a chain writer's id, build the payload
     predicate identifying a broadcast that carries *that writer's* value —
     the message Definition 11 crashes truncate."""
+    from repro.baselines.bfk import MStoreB
     from repro.baselines.delporte import MWrite
+    from repro.baselines.impr import MRegWrite
     from repro.baselines.la_based import MGossip
     from repro.baselines.scd_broadcast import MForward, ScdWrite
     from repro.baselines.store_collect import MStore
@@ -144,6 +146,10 @@ def value_match_factory(factory) -> Callable[[int], Callable[[Any], bool]]:
     name = getattr(factory, "__name__", "")
     if "Delporte" in name:
         return lambda w: lambda p: isinstance(p, MWrite) and p.writer == w
+    if "Bfk" in name:
+        return lambda w: lambda p: isinstance(p, MStoreB) and p.writer == w
+    if "Impr" in name:
+        return lambda w: lambda p: isinstance(p, MRegWrite) and p.writer == w
     if "StoreCollect" in name:
         return lambda w: lambda p: isinstance(p, MStore) and any(
             t[0] == w for t in p.view
@@ -164,7 +170,9 @@ def _doomed_payload_predicate(
 ) -> Callable[[Any], bool]:
     """True for messages that carry a doomed (chain) writer's value —
     the traffic the delay adversary slows to the full D."""
+    from repro.baselines.bfk import MStoreB
     from repro.baselines.delporte import MWrite
+    from repro.baselines.impr import MRegWrite
     from repro.baselines.la_based import MGossip
     from repro.baselines.scd_broadcast import MForward, ScdWrite
     from repro.baselines.store_collect import MStore
@@ -177,6 +185,8 @@ def _doomed_payload_predicate(
     checks: dict[type, Callable[[Any], bool]] = {
         MValue: lambda p: p.vt.writer in writers,
         MWrite: lambda p: p.writer in writers,
+        MStoreB: lambda p: p.writer in writers,
+        MRegWrite: lambda p: p.writer in writers,
         MStore: lambda p: any(w in writers for (w, _, _) in p.view),
         MForward: lambda p: type(p.payload) is ScdWrite
         and p.payload.writer in writers,

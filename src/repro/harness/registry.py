@@ -211,6 +211,18 @@ def _exp_messages(**kw) -> ExperimentResult:
     )
 
 
+def _exp_contenders(**kw) -> ExperimentResult:
+    from repro.harness.contenders import contender_latency, format_contenders
+
+    rows = contender_latency(**kw)
+    return ExperimentResult(
+        "contenders",
+        "head-to-head contender race: BFK / IMPR / Delporte / EQ-ASO",
+        rows,
+        format_contenders(rows),
+    )
+
+
 def _exp_chaos(**kw) -> ExperimentResult:
     """A small chaos campaign over every healthy algorithm (the full
     sweep lives in ``python -m repro.chaos``; this entry is the
@@ -258,6 +270,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "messages": _exp_messages,
     "trace": _exp_trace,
     "chaos": _exp_chaos,
+    "contenders": _exp_contenders,
 }
 
 

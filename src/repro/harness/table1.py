@@ -1,6 +1,6 @@
 """Regeneration of Table I — the paper's central comparison.
 
-For each of the six algorithms we measure, in units of ``D``:
+For each of the eight algorithms we measure, in units of ``D``:
 
 - **worst-case UPDATE / SCAN**: the larger of the latency of a victim
   operation under (i) the failure-chain staircase adversary
@@ -20,7 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.baselines import DelporteAso, LatticeAso, ScdAso, StoreCollectAso
+from repro.baselines import (
+    BfkAso,
+    DelporteAso,
+    ImprRegisterAso,
+    LatticeAso,
+    ScdAso,
+    StoreCollectAso,
+)
 from repro.core import EqAso, SsoFastScan
 from repro.harness.adversary import (
     interference_schedule,
@@ -35,6 +42,8 @@ ALGORITHMS: dict[str, Callable] = {
     "Store-collect [12]": StoreCollectAso,
     "SCD-broadcast [29]": ScdAso,
     "LA-based [41,42]+[11]": LatticeAso,
+    "BFK fast snapshot [2408.02562]": BfkAso,
+    "IMPR registers [1702.08176]": ImprRegisterAso,
     "EQ-ASO [this paper]": EqAso,
     "SSO-Fast-Scan [this paper]": SsoFastScan,
 }
@@ -45,6 +54,8 @@ PAPER_CLAIMS: dict[str, dict[str, str]] = {
     "Store-collect [12]": {"update": "O(n·D)", "scan": "O(n·D)"},
     "SCD-broadcast [29]": {"update": "O(k·D)*", "scan": "O(k·D)*"},
     "LA-based [41,42]+[11]": {"update": "O(log n·D)", "scan": "O(log n·D)"},
+    "BFK fast snapshot [2408.02562]": {"update": "O(D)", "scan": "O(c·D)†"},
+    "IMPR registers [1702.08176]": {"update": "O(D)", "scan": "O(c·D)"},
     "EQ-ASO [this paper]": {"update": "O(√k·D)", "scan": "O(√k·D)"},
     "SSO-Fast-Scan [this paper]": {"update": "O(√k·D)", "scan": "O(1)"},
 }
@@ -124,7 +135,7 @@ def run_table1(
     seed: int = 42,
     interference: bool = True,
 ) -> list[Table1Row]:
-    """Measure all four Table I columns for all six algorithms.
+    """Measure all four Table I columns for all eight algorithms.
 
     ``seed`` drives the interference wave's delay model (via
     :mod:`repro.sim.rng`); the chain/staircase columns are adversarial
@@ -168,13 +179,13 @@ def run_table1(
 
 def format_table1(rows: Sequence[Table1Row]) -> str:
     header = (
-        f"{'Algorithm':28s} {'UPDATE worst':>13s} {'UPDATE amort':>13s} "
+        f"{'Algorithm':30s} {'UPDATE worst':>13s} {'UPDATE amort':>13s} "
         f"{'SCAN worst':>11s} {'SCAN amort':>11s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
-            f"{row.algorithm:28s} {row.update_worst:>12.2f}D "
+            f"{row.algorithm:30s} {row.update_worst:>12.2f}D "
             f"{row.update_amortized:>12.2f}D {row.scan_worst:>10.2f}D "
             f"{row.scan_amortized:>10.2f}D"
         )

@@ -38,17 +38,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 class Histogram:
     """Exact histogram with nearest-rank percentiles."""
 
-    __slots__ = ("name", "_values", "_sorted")
+    __slots__ = ("name", "_values", "_sorted", "_win_values")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._values: list[float] = []
         self._sorted = True
+        # window state is a separate list (not a positional mark into
+        # _values): percentile() sorts _values in place, which would
+        # scramble any index-based window boundary
+        self._win_values: list[float] = []
 
     def observe(self, value: float) -> None:
         if self._values and value < self._values[-1]:
             self._sorted = False
         self._values.append(value)
+        self._win_values.append(value)
 
     def observe_many(self, values: Iterable[float]) -> None:
         for v in values:
@@ -114,6 +119,41 @@ class Histogram:
             "max": self.maximum,
         }
 
+    # -- windows --------------------------------------------------------
+    def window_summary(self, *, reset: bool = True) -> dict[str, float]:
+        """Exact aggregates of the observations since the last window
+        reset — the same shape :meth:`HdrHistogram.window_summary`
+        returns, so :meth:`Registry.window` reports true deltas on both
+        backends."""
+        values = sorted(self._win_values)
+        count = len(values)
+        if count == 0:
+            out = {
+                "count": 0,
+                "mean": math.nan,
+                "min": math.nan,
+                "p50": math.nan,
+                "p95": math.nan,
+                "p99": math.nan,
+                "max": math.nan,
+            }
+        else:
+            def rank(p: float) -> float:
+                return values[max(1, math.ceil(p / 100 * count)) - 1]
+
+            out = {
+                "count": count,
+                "mean": sum(values) / count,
+                "min": values[0],
+                "p50": rank(50),
+                "p95": rank(95),
+                "p99": rank(99),
+                "max": values[-1],
+            }
+        if reset:
+            self._win_values = []
+        return out
+
     def __repr__(self) -> str:
         if self.empty:
             return f"Histogram({self.name}: empty)"
@@ -140,6 +180,9 @@ class Histogram:
         elif not other._sorted:
             self._sorted = False
         self._values.extend(theirs)
+        # mirror HdrHistogram.merge: merged-in observations are new to
+        # this registry's current window
+        self._win_values.extend(theirs)
 
 
 class MetricsRegistry(Registry):

@@ -367,9 +367,13 @@ class Registry:
             counters[name] = delta
         histograms: dict[str, dict[str, float]] = {}
         for name, hist in sorted(self.histograms.items()):
-            if isinstance(hist, HdrHistogram):
-                histograms[name] = hist.window_summary(reset=reset)
-            else:  # exact histograms carry no window state; report totals
+            # duck-typed: both built-in backends (HdrHistogram and the
+            # exact Histogram) carry window state; a foreign backend
+            # without it falls back to cumulative totals
+            window_summary = getattr(hist, "window_summary", None)
+            if window_summary is not None:
+                histograms[name] = window_summary(reset=reset)
+            else:
                 histograms[name] = hist.summary()
         return {
             "counters": counters,

@@ -366,10 +366,11 @@ class CompositeSnapshot:
         return max(times) if times else None
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> float | None:
+        """Latency in D; ``None`` when every shard aborted (a crash-all
+        campaign observes nothing, it does not crash the accounting)."""
         t = self.t_resp
-        assert t is not None, "fully-aborted composite has no latency"
-        return t - self.t_arrival
+        return None if t is None else t - self.t_arrival
 
 
 @dataclass(slots=True)
@@ -682,6 +683,10 @@ class ShardedSnapshotService:
             if alive[g.index]:
                 gscan_hist.observe(comp.latency)
                 report.registry.counter("shard.ops.gscan").inc()
+            else:
+                # every sub-scan aborted: a degraded (counted) outcome,
+                # not an AssertionError in the accounting
+                report.registry.counter("shard.ops.aborted_composite").inc()
         return report
 
     def _collect(

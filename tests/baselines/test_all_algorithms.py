@@ -5,7 +5,14 @@ algorithm-agnostic, exercised for real."""
 
 import pytest
 
-from repro.baselines import DelporteAso, LatticeAso, ScdAso, StoreCollectAso
+from repro.baselines import (
+    BfkAso,
+    DelporteAso,
+    ImprRegisterAso,
+    LatticeAso,
+    ScdAso,
+    StoreCollectAso,
+)
 from repro.core import ByzantineAso, ByzantineSso, EqAso, SsoFastScan
 from repro.spec import (
     check_atomicity_conditions,
@@ -16,7 +23,16 @@ from repro.spec.order import validate_serialization
 
 from tests.conftest import run_random_execution
 
-ATOMIC = [EqAso, DelporteAso, StoreCollectAso, ScdAso, LatticeAso, ByzantineAso]
+ATOMIC = [
+    EqAso,
+    DelporteAso,
+    StoreCollectAso,
+    ScdAso,
+    LatticeAso,
+    ByzantineAso,
+    BfkAso,
+    ImprRegisterAso,
+]
 SEQUENTIAL = [SsoFastScan, ByzantineSso]
 
 

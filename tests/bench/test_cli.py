@@ -1,0 +1,33 @@
+"""Bench CLI: error mapping for registry lookups (no tracebacks)."""
+
+from __future__ import annotations
+
+import repro.bench.runner as runner
+from repro.bench.__main__ import main
+from repro.bench.runner import BenchCase
+
+
+def test_unknown_case_fails_cleanly(capsys):
+    assert main(["no-such-case"]) == 1
+    err = capsys.readouterr().err
+    assert "bench failed" in err and "choose from" in err
+
+
+def test_case_keyerror_maps_to_one_line_message(monkeypatch, tmp_path, capsys):
+    """Regression: a KeyError escaping a case workload (e.g. an unknown
+    algorithm profile) used to traceback; it must surface as the
+    registry's one-line choices message, unquoted, exit 1."""
+
+    def boom():
+        from repro.chaos.algos import get_profile
+
+        get_profile("no-such-algo")
+
+    case = BenchCase("boom", "keyerror probe", lockstep=True, full=boom, smoke=boom)
+    monkeypatch.setitem(runner.CASES, "boom", case)
+    code = main(["boom", "--smoke", "--out", str(tmp_path / "r.json")])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "bench failed: unknown algorithm 'no-such-algo'" in err
+    assert "choose from" in err
+    assert "Traceback" not in err

@@ -24,6 +24,7 @@ def test_case_registry_shape():
         "table1",
         "scale_k",
         "interference",
+        "contender_latency",
         "shard_throughput",
         "shard_scan_tail",
         "byzantine",
@@ -33,6 +34,7 @@ def test_case_registry_shape():
     assert lockstep == {
         "table1",
         "scale_k",
+        "contender_latency",
         "shard_throughput",
         "shard_scan_tail",
         "views",

@@ -38,6 +38,32 @@ def test_smoke_covers_all_healthy_algorithms(tmp_path, capsys):
     assert all(len(a["seeds"]) == SMOKE_SEEDS for a in report["algos"])
 
 
+def test_parse_algos_all_tracks_the_live_registry():
+    """``--algo all`` resolves at call time: the new contenders are in,
+    mutants stay out, and profiles registered later are picked up."""
+    from repro.baselines import BfkAso
+    from repro.chaos.__main__ import _parse_algos
+    from repro.chaos.algos import (
+        LINEARIZABLE,
+        AlgoProfile,
+        register_profile,
+        unregister_profile,
+    )
+
+    names = _parse_algos("all")
+    assert "bfk" in names and "impr" in names
+    assert not any(n.startswith("mut-") for n in names)
+    profile = AlgoProfile("dummy-contender", BfkAso, LINEARIZABLE, n=5, f=2)
+    register_profile(profile)
+    try:
+        assert "dummy-contender" in _parse_algos("all")
+        with pytest.raises(ValueError):
+            register_profile(profile)  # duplicate names are refused
+    finally:
+        unregister_profile("dummy-contender")
+    assert "dummy-contender" not in _parse_algos("all")
+
+
 def test_mutant_sweep_exits_one_and_exports(tmp_path, capsys):
     code = main(
         [

@@ -1,0 +1,37 @@
+"""Harness CLI: exit codes and registry-error mapping (no tracebacks)."""
+
+from __future__ import annotations
+
+import repro.harness.registry as registry
+from repro.harness.__main__ import main
+
+
+def test_unknown_experiment_exits_two_with_choices(capsys):
+    assert main(["nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'nope'" in err
+    assert "table1" in err  # the choices list
+
+
+def test_small_experiment_runs_clean(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+
+
+def test_registry_keyerror_maps_to_one_line_message(monkeypatch, capsys):
+    """Regression: a KeyError escaping an experiment body (e.g. an
+    unknown algorithm profile) used to traceback; it must surface as the
+    registry's one-line choices message, unquoted, exit 2."""
+
+    def boom(**kw):
+        from repro.chaos.algos import get_profile
+
+        get_profile("no-such-algo")
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "boom", boom)
+    assert main(["boom"]) == 2
+    err = capsys.readouterr().err
+    assert "experiment 'boom' failed: unknown algorithm 'no-such-algo'" in err
+    assert "choose from" in err
+    assert "Traceback" not in err

@@ -82,6 +82,7 @@ def test_registry_contains_all_experiments():
         "messages",
         "trace",
         "chaos",
+        "contenders",
     }
 
 

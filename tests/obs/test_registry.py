@@ -141,6 +141,60 @@ def test_registry_window_deltas():
     assert reg.window()["counters"] == {"sent": 0}
 
 
+def test_registry_window_deltas_on_both_backends():
+    """Regression: ``Registry.window`` used to report cumulative totals
+    for exact histograms while claiming window deltas; both built-in
+    backends must report true deltas."""
+    from repro.obs.metrics import Histogram, MetricsRegistry
+
+    for reg in (Registry(), MetricsRegistry(), Registry(histogram_factory=Histogram)):
+        reg.histogram("lat").observe(1.0)
+        reg.histogram("lat").observe(3.0)
+        first = reg.window()
+        assert first["histograms"]["lat"]["count"] == 2
+        assert first["histograms"]["lat"]["max"] == 3.0
+        reg.histogram("lat").observe(10.0)
+        second = reg.window()
+        assert second["histograms"]["lat"]["count"] == 1  # delta, not total
+        assert second["histograms"]["lat"]["p50"] == 10.0
+        assert reg.window()["histograms"]["lat"]["count"] == 0
+        # the cumulative view is untouched by windowing
+        assert reg.histogram("lat").count == 3
+
+
+def test_exact_window_survives_inplace_percentile_sort():
+    """percentile() sorts _values in place — the window must not be a
+    positional mark into that list."""
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram("lat")
+    for v in (5.0, 1.0, 3.0):
+        hist.observe(v)
+    assert hist.percentile(50) == 3.0  # triggers the in-place sort
+    hist.observe(2.0)
+    win = hist.window_summary()
+    assert win["count"] == 4
+    assert win["min"] == 1.0 and win["max"] == 5.0
+    assert hist.window_summary()["count"] == 0
+
+
+def test_exact_merge_folds_into_open_window():
+    """Exact merge mirrors HdrHistogram.merge: merged-in observations
+    land in the destination's current window."""
+    from repro.obs.metrics import Histogram
+
+    a, b = Histogram("a"), Histogram("b")
+    a.observe(1.0)
+    a.window_summary()  # close a's window
+    b.observe(2.0)
+    b.window_summary()  # b's own window is closed too...
+    a.merge(b)
+    win = a.window_summary()
+    # ...but merge folds b's CUMULATIVE observations into a's window
+    assert win["count"] == 1 and win["max"] == 2.0
+    assert a.count == 2
+
+
 def test_registry_format_lines_covers_gauges():
     reg = Registry()
     reg.gauge("conns").set(3)

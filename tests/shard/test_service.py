@@ -100,6 +100,29 @@ def test_whole_shard_crash_degrades_cleanly():
         assert comp.cut[1] is None  # a dead shard never advances the cut
 
 
+def test_crash_all_composite_degrades_to_counted_abort():
+    """Regression: a composite whose *every* sub-scan aborted used to
+    trip ``assert t is not None`` in ``CompositeSnapshot.latency``; a
+    crash-all campaign must instead degrade to a counted
+    ``shard.ops.aborted_composite`` with ``latency is None``."""
+    config = ShardConfig(shards=1, nodes_per_shard=3, f=1)
+    spec = WorkloadSpec(
+        ops=40, keys=8, read_ratio=0.2, global_scan_ratio=0.5, clients=10,
+        rate=2.0,
+    )
+    report = ShardedSnapshotService(config).run(
+        spec, 7, crash_shard=0, crash_time=0.0
+    )
+    dead = [c for c in report.composites if c.t_resp is None]
+    assert dead, "crash-at-0 must fully abort at least one composite"
+    for comp in dead:
+        assert comp.latency is None
+        assert not comp.complete
+    aborted = report.registry.counter("shard.ops.aborted_composite")
+    assert aborted.value == len(dead)
+    assert report.registry.counter("shard.ops.gscan").value == 0
+
+
 def test_crash_requires_time():
     with pytest.raises(ValueError):
         _run(crash_shard=0)
